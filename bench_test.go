@@ -1,0 +1,434 @@
+package irfusion
+
+// Benchmark harness: one benchmark family per table/figure of the
+// paper's evaluation section, plus micro-benchmarks for the numerical
+// substrate (the Fig-3 solver stages). Regenerating the actual
+// numbers is done by cmd/experiments; these benches measure the cost
+// of each pipeline stage with testing.B.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"irfusion/internal/amg"
+	"irfusion/internal/circuit"
+	"irfusion/internal/core"
+	"irfusion/internal/dataset"
+	"irfusion/internal/features"
+	"irfusion/internal/models"
+	"irfusion/internal/nn"
+	"irfusion/internal/pgen"
+	"irfusion/internal/solver"
+	"irfusion/internal/spice"
+)
+
+const benchRes = 48
+
+type fixtures struct {
+	design *pgen.Design
+	nw     *circuit.Network
+	sys    *circuit.System
+	hier   *amg.Hierarchy
+	sample *dataset.Sample
+	deck   string
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixtures
+)
+
+func benchFixtures(b *testing.B) *fixtures {
+	b.Helper()
+	fixOnce.Do(func() {
+		d, err := pgen.Generate(pgen.DefaultConfig("bench", pgen.Real, benchRes, benchRes, 7))
+		if err != nil {
+			panic(err)
+		}
+		fix.design = d
+		fix.deck = d.Netlist.String()
+		nw, err := circuit.FromNetlist(d.Netlist)
+		if err != nil {
+			panic(err)
+		}
+		fix.nw = nw
+		sys, err := nw.Assemble()
+		if err != nil {
+			panic(err)
+		}
+		fix.sys = sys
+		h, err := amg.Build(sys.G, amg.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		fix.hier = h
+		s, err := dataset.Build(d, dataset.DefaultOptions(benchRes, benchRes))
+		if err != nil {
+			panic(err)
+		}
+		fix.sample = s
+	})
+	return &fix
+}
+
+// --- TABLE I: per-model inference cost ------------------------------
+
+func benchModelInference(b *testing.B, name string) {
+	f := benchFixtures(b)
+	m, err := models.New(name, models.Config{
+		InChannels: f.sample.Features.Channels(), Base: 8, Depth: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.SetTraining(false)
+	x, _ := dataset.ToTensors([]*dataset.Sample{f.sample})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(nil, x)
+	}
+}
+
+func BenchmarkTable1Inference(b *testing.B) {
+	for _, name := range models.Names() {
+		b.Run(name, func(b *testing.B) { benchModelInference(b, name) })
+	}
+}
+
+// BenchmarkTable1TrainStep measures one optimizer step (forward +
+// backward + Adam) for the proposed model and the strongest baseline.
+func BenchmarkTable1TrainStep(b *testing.B) {
+	for _, name := range []string{"irfusion", "maunet"} {
+		b.Run(name, func(b *testing.B) {
+			f := benchFixtures(b)
+			m, err := models.New(name, models.Config{
+				InChannels: f.sample.Features.Channels(), Base: 8, Depth: 2, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			x, y := dataset.ToTensors([]*dataset.Sample{f.sample})
+			params := m.Params()
+			opt := nn.NewAdam(1e-3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp := nn.NewTape()
+				loss := nn.MSELoss(tp, m.Forward(tp, x), y)
+				nn.ZeroGrads(params)
+				tp.Backward(loss)
+				opt.Step(params)
+			}
+		})
+	}
+}
+
+// --- Fig 6: rendering cost -------------------------------------------
+
+func BenchmarkFig6RenderPGM(b *testing.B) {
+	f := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.sample.Golden.PGM()
+	}
+}
+
+// --- Fig 7: budgeted numerical solves and the fusion numerical stage -
+
+func BenchmarkFig7NumericalBudget(b *testing.B) {
+	f := benchFixtures(b)
+	for _, k := range []int{1, 2, 5, 10} {
+		b.Run(benchName("iters", k), func(b *testing.B) {
+			pre := solver.NewSSOR(f.sys.G, 2)
+			x := make([]float64, f.sys.N())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range x {
+					x[j] = 0
+				}
+				if _, err := solver.PCG(f.sys.G, x, f.sys.I, pre, solver.RoughOptions(k)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7FusionNumericalStage measures the full numerical stage
+// of the fused pipeline: rough solve + hierarchical feature build.
+func BenchmarkFig7FusionNumericalStage(b *testing.B) {
+	f := benchFixtures(b)
+	opts := dataset.DefaultOptions(benchRes, benchRes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Build(f.design, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig 8: ablation variant training cost ---------------------------
+
+func BenchmarkFig8AblationStep(b *testing.B) {
+	f := benchFixtures(b)
+	variants := map[string][3]bool{ // inception, attnGate, cbam
+		"full":        {true, true, true},
+		"noInception": {false, true, true},
+		"noCBAM":      {true, true, false},
+	}
+	for name, v := range variants {
+		b.Run(name, func(b *testing.B) {
+			m := models.NewIRFusionNetAblated(models.Config{
+				InChannels: f.sample.Features.Channels(), Base: 8, Depth: 2, Seed: 1,
+			}, v[0], v[1], v[2])
+			x, y := dataset.ToTensors([]*dataset.Sample{f.sample})
+			params := m.Params()
+			opt := nn.NewAdam(1e-3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp := nn.NewTape()
+				loss := nn.MSELoss(tp, m.Forward(tp, x), y)
+				nn.ZeroGrads(params)
+				tp.Backward(loss)
+				opt.Step(params)
+			}
+		})
+	}
+}
+
+// --- Numerical substrate (Fig 3 stages) ------------------------------
+
+func BenchmarkSolverStageSetup(b *testing.B) {
+	f := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := amg.Build(f.sys.G, amg.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverConverged(b *testing.B) {
+	f := benchFixtures(b)
+	pres := map[string]solver.Preconditioner{
+		"CG":       solver.Identity{},
+		"JacobiPC": solver.NewJacobi(f.sys.G),
+		"SSOR2PC":  solver.NewSSOR(f.sys.G, 2),
+		"AMGKPC":   f.hier,
+	}
+	for name, pre := range pres {
+		b.Run(name, func(b *testing.B) {
+			x := make([]float64, f.sys.N())
+			opts := solver.Options{Tol: 1e-10, MaxIter: 20000, Flexible: name == "AMGKPC"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range x {
+					x[j] = 0
+				}
+				res, err := solver.PCG(f.sys.G, x, f.sys.I, pre, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatal("did not converge")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolverSpMV(b *testing.B) {
+	f := benchFixtures(b)
+	x := make([]float64, f.sys.N())
+	y := make([]float64, f.sys.N())
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.sys.G.MulVec(y, x)
+	}
+}
+
+// --- Front end and features ------------------------------------------
+
+func BenchmarkSpiceParse(b *testing.B) {
+	f := benchFixtures(b)
+	b.SetBytes(int64(len(f.deck)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spice.ParseString(f.deck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMNAAssemble(b *testing.B) {
+	f := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.nw.Assemble(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStructureFeatures(b *testing.B) {
+	f := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.StructureFeatures(f.nw, benchRes, benchRes)
+	}
+}
+
+func BenchmarkDesignGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := pgen.Generate(pgen.DefaultConfig("g", pgen.Real, benchRes, benchRes, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndNumerical measures the complete pure-numerical
+// analysis (the PowerRush column of the trade-off study).
+func BenchmarkEndToEndNumerical(b *testing.B) {
+	f := benchFixtures(b)
+	na := &core.NumericalAnalyzer{Iters: 0, Resolution: benchRes}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := na.Analyze(f.design); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, k int) string {
+	return fmt.Sprintf("%s=%d", prefix, k)
+}
+
+// --- Design-choice ablation benches (DESIGN.md §5) --------------------
+// These quantify the solver design decisions: K- vs V-cycle, double
+// vs single pairwise aggregation, Gauss-Seidel vs Chebyshev
+// smoothing, and flexible vs standard PCG.
+
+func BenchmarkAblationCycleType(b *testing.B) {
+	f := benchFixtures(b)
+	for _, cyc := range []amg.Cycle{amg.VCycle, amg.WCycle, amg.KCycle} {
+		b.Run(cyc.String(), func(b *testing.B) {
+			opts := amg.DefaultOptions()
+			opts.Cycle = cyc
+			h, err := amg.Build(f.sys.G, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := make([]float64, f.sys.N())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range x {
+					x[j] = 0
+				}
+				res, err := solver.PCG(f.sys.G, x, f.sys.I, h,
+					solver.Options{Tol: 1e-10, MaxIter: 500, Flexible: true})
+				if err != nil || !res.Converged {
+					b.Fatalf("err=%v converged=%v", err, res.Converged)
+				}
+				b.ReportMetric(float64(res.Iterations), "iters")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationAggregation(b *testing.B) {
+	f := benchFixtures(b)
+	for _, aggressive := range []bool{false, true} {
+		name := "single"
+		if aggressive {
+			name = "double"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := amg.DefaultOptions()
+			opts.Aggressive = aggressive
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h, err := amg.Build(f.sys.G, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(h.OperatorComplexity(), "op-complexity")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSmoother(b *testing.B) {
+	f := benchFixtures(b)
+	for _, sm := range []struct {
+		name string
+		s    amg.Smoother
+	}{{"gauss-seidel", amg.GaussSeidel}, {"chebyshev", amg.Chebyshev}} {
+		b.Run(sm.name, func(b *testing.B) {
+			opts := amg.DefaultOptions()
+			opts.Smoother = sm.s
+			h, err := amg.Build(f.sys.G, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := make([]float64, f.sys.N())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range x {
+					x[j] = 0
+				}
+				res, err := solver.PCG(f.sys.G, x, f.sys.I, h,
+					solver.Options{Tol: 1e-10, MaxIter: 500, Flexible: true})
+				if err != nil || !res.Converged {
+					b.Fatalf("err=%v converged=%v", err, res.Converged)
+				}
+				b.ReportMetric(float64(res.Iterations), "iters")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationFlexiblePCG(b *testing.B) {
+	f := benchFixtures(b)
+	for _, flex := range []bool{false, true} {
+		name := "standard"
+		if flex {
+			name = "flexible"
+		}
+		b.Run(name, func(b *testing.B) {
+			x := make([]float64, f.sys.N())
+			pre := solver.NewJacobi(f.sys.G)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range x {
+					x[j] = 0
+				}
+				if _, err := solver.PCG(f.sys.G, x, f.sys.I, pre,
+					solver.Options{Tol: 1e-10, MaxIter: 20000, Flexible: flex}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRandomWalkNode measures the single-node Monte-Carlo
+// estimate (the capability that distinguishes random-walk solvers).
+func BenchmarkRandomWalkNode(b *testing.B) {
+	f := benchFixtures(b)
+	rw, err := solver.NewRandomWalk(f.sys.G, f.sys.I)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw.Node(i%f.sys.N(), 100, rng)
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"irfusion/internal/core"
+	"irfusion/internal/metrics"
+)
+
+// runFig7 reproduces the trade-off study: for solver iteration
+// budgets k = 1..10, compare the pure numerical simulator
+// (PowerRush-style budgeted PCG) against IR-Fusion whose rough stage
+// runs the same k iterations before ML refinement. Both engines share
+// the same preconditioner; see DESIGN.md for the scale substitution.
+func runFig7(e *env_, outDir string) error {
+	ours, err := e.trainSweepModel()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(outDir, "fig7.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fprintRow(f, "iters", "numerical_mae_1e-4V", "numerical_f1", "fusion_mae_1e-4V", "fusion_f1",
+		"numerical_runtime_s", "fusion_runtime_s")
+
+	log.Printf("%5s %16s %14s %16s %12s", "iters", "PowerRush MAE", "PowerRush F1", "IR-Fusion MAE", "IR-Fusion F1")
+	type point struct{ numMAE, numF1, fusMAE, fusF1 float64 }
+	var curve []point
+	for k := 1; k <= 10; k++ {
+		// Pure numerical at budget k.
+		var numReps, fusReps []metrics.Report
+		na := &core.NumericalAnalyzer{Iters: k, Resolution: e.sc.Res}
+		for di, d := range e.testDesigns {
+			m, rt, _, err := na.Analyze(d)
+			if err != nil {
+				return err
+			}
+			r := metrics.Evaluate(m, e.fullTest[di].Golden)
+			r.Runtime = rt.Seconds()
+			numReps = append(numReps, r)
+		}
+		// Fusion with rough features rebuilt at budget k.
+		opts := e.fullOpts()
+		opts.RoughIters = k
+		samples, err := buildSamples(e.testDesigns, opts)
+		if err != nil {
+			return err
+		}
+		fusReps = ours.Evaluate(samples)
+		numAvg := metrics.Average(numReps)
+		fusAvg := metrics.Average(fusReps)
+		curve = append(curve, point{numAvg.MAE, numAvg.F1, fusAvg.MAE, fusAvg.F1})
+		log.Printf("%5d %16.2f %14.2f %16.2f %12.2f",
+			k, numAvg.MAE*1e4, numAvg.F1, fusAvg.MAE*1e4, fusAvg.F1)
+		fprintRow(f, k, fmt.Sprintf("%.3f", numAvg.MAE*1e4), fmt.Sprintf("%.3f", numAvg.F1),
+			fmt.Sprintf("%.3f", fusAvg.MAE*1e4), fmt.Sprintf("%.3f", fusAvg.F1),
+			fmt.Sprintf("%.4f", numAvg.Runtime), fmt.Sprintf("%.4f", fusAvg.Runtime))
+	}
+
+	// Shape checks from §IV-C: fusion F1 above numerical F1 at every
+	// budget, and fusion reaching at small k the MAE that the pure
+	// numerical method needs many more iterations for.
+	f1OK := true
+	for _, p := range curve {
+		if p.fusF1 < p.numF1 {
+			f1OK = false
+		}
+	}
+	crossover := -1
+	for k, p := range curve {
+		if p.numMAE <= curve[1].fusMAE {
+			crossover = k + 1
+			break
+		}
+	}
+	log.Printf("shape check: fusion F1 >= numerical F1 at all k: %v", f1OK)
+	if crossover > 0 {
+		log.Printf("shape check: numerical needs %d iterations to reach fusion@2 MAE (%.3g)",
+			crossover, curve[1].fusMAE)
+	} else {
+		log.Printf("shape check: numerical never reaches fusion@2 MAE (%.3g) within 10 iterations",
+			curve[1].fusMAE)
+	}
+	return nil
+}

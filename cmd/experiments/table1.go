@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"irfusion/internal/metrics"
+)
+
+// table1Order mirrors the row order of TABLE I in the paper.
+var table1Order = []struct {
+	key, label string
+}{
+	{"iredge", "IREDGe"},
+	{"mavirec", "MAVIREC"},
+	{"irpnet", "IRPnet"},
+	{"pgau", "PGAU"},
+	{"maunet", "MAUnet"},
+	{"contestwinner", "Contest Winner"},
+	{"irfusion", "IR-Fusion (Ours)"},
+}
+
+// runTable1 trains every model and prints the main-results table:
+// MAE, F1, Runtime, MIRDE averaged over the real test designs.
+func runTable1(e *env_, outDir string) error {
+	f, err := os.Create(filepath.Join(outDir, "table1.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fprintRow(f, "method", "mae_1e-4V", "f1", "runtime_s", "mirde_1e-4V", "cc")
+
+	log.Printf("%-18s %10s %6s %10s %12s %6s", "Methods", "MAE(1e-4V)", "F1", "Runtime(s)", "MIRDE(1e-4V)", "CC")
+	results := map[string]metrics.Report{}
+	for _, row := range table1Order {
+		a, err := e.trainModel(row.key)
+		if err != nil {
+			return fmt.Errorf("%s: %w", row.key, err)
+		}
+		avg := metrics.Average(a.Evaluate(e.testSetFor(row.key)))
+		results[row.key] = avg
+		log.Printf("%-18s %10.2f %6.2f %10.3f %12.2f %6.3f",
+			row.label, avg.MAE*1e4, avg.F1, avg.Runtime, avg.MIRDE*1e4, avg.CC)
+		fprintRow(f, row.label, fmt.Sprintf("%.3f", avg.MAE*1e4), fmt.Sprintf("%.3f", avg.F1),
+			fmt.Sprintf("%.4f", avg.Runtime), fmt.Sprintf("%.3f", avg.MIRDE*1e4), fmt.Sprintf("%.3f", avg.CC))
+	}
+
+	// Shape check mirroring the paper's headline: IR-Fusion best on
+	// the accuracy metrics.
+	ours := results["irfusion"]
+	bestBaselineMAE, bestBaselineF1 := 1e18, 0.0
+	for k, r := range results {
+		if k == "irfusion" {
+			continue
+		}
+		if r.MAE < bestBaselineMAE {
+			bestBaselineMAE = r.MAE
+		}
+		if r.F1 > bestBaselineF1 {
+			bestBaselineF1 = r.F1
+		}
+	}
+	log.Printf("shape check: IR-Fusion MAE %.3g vs best baseline %.3g (want lower); F1 %.2f vs %.2f (want higher)",
+		ours.MAE, bestBaselineMAE, ours.F1, bestBaselineF1)
+	return nil
+}

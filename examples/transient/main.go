@@ -1,0 +1,89 @@
+// Transient example: the dynamic IR-drop extension. A generated grid
+// is augmented with per-cell decoupling capacitance, hit with a
+// pulsed load, and integrated with backward Euler — showing the decap
+// smoothing the dynamic droop that MAVIREC-style tools analyze.
+//
+//	go run ./examples/transient
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"irfusion/internal/circuit"
+	"irfusion/internal/pgen"
+	"irfusion/internal/spice"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	design, err := pgen.Generate(pgen.DefaultConfig("transient-demo", pgen.Fake, 48, 48, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(decapFarads float64) (float64, float64) {
+		nl := &spice.Netlist{Title: design.Netlist.Title}
+		nl.Elements = append(nl.Elements, design.Netlist.Elements...)
+		if decapFarads > 0 {
+			// Attach a decap at every load point.
+			id := 0
+			for _, e := range design.Netlist.Elements {
+				if e.Type == spice.CurrentSource {
+					id++
+					nl.Elements = append(nl.Elements, spice.Element{
+						Type: spice.Capacitor, Name: fmt.Sprintf("Cd%d", id),
+						NodeA: e.NodeA, NodeB: spice.Ground, Value: decapFarads,
+					})
+				}
+			}
+		}
+		nw, err := circuit.FromNetlist(nl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := nw.Assemble()
+		if err != nil {
+			log.Fatal(err)
+		}
+		const h = 1e-12 // 1 ps steps
+		tr, err := circuit.NewTransient(sys, h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Pulse: 3× nominal current for 10 steps, then idle.
+		burst := make([]float64, sys.N())
+		for i, v := range sys.I {
+			burst[i] = 3 * v
+		}
+		idle := make([]float64, sys.N())
+		peak, err := tr.Run(100, func(step int, _ float64) []float64 {
+			if step < 20 {
+				return burst
+			}
+			return idle
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		final := 0.0
+		for _, v := range tr.Drops() {
+			if v > final {
+				final = v
+			}
+		}
+		return peak, final
+	}
+
+	fmt.Println("pulsed-load transient (3x nominal current for 20 ps):")
+	fmt.Printf("%-22s %14s %18s\n", "configuration", "peak drop (V)", "drop at 100 ps (V)")
+	p0, f0 := run(0)
+	fmt.Printf("%-22s %14.5f %18.5f\n", "no decap", p0, f0)
+	p1, f1 := run(1e-12)
+	fmt.Printf("%-22s %14.5f %18.5f\n", "1 pF decap per cell", p1, f1)
+	p2, f2 := run(5e-12)
+	fmt.Printf("%-22s %14.5f %18.5f\n", "5 pF decap per cell", p2, f2)
+	fmt.Printf("\ndecap suppresses the dynamic peak by %.1f%% (1 pF) and %.1f%% (5 pF)\n",
+		100*(1-p1/p0), 100*(1-p2/p0))
+}

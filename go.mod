@@ -1,0 +1,3 @@
+module irfusion
+
+go 1.22

@@ -1,0 +1,109 @@
+package amg
+
+import "irfusion/internal/sparse"
+
+// aggregate builds the piecewise-constant prolongation matrix P for
+// one coarsening step. Each fine node is assigned to exactly one
+// aggregate; P[i, agg(i)] = 1. With aggressive coarsening two pairwise
+// passes are composed, yielding aggregates of up to four nodes
+// ("double pairwise aggregation").
+//
+// It returns nil when no coarsening is possible (every node isolated).
+func aggregate(a *sparse.CSR, strength float64, aggressive bool) *sparse.CSR {
+	p1, n1 := pairwise(a, strength)
+	if p1 == nil {
+		return nil
+	}
+	if !aggressive {
+		return p1
+	}
+	a1 := sparse.TripleProduct(p1, a)
+	p2, n2 := pairwise(a1, strength)
+	if p2 == nil || n2 >= n1 {
+		return p1
+	}
+	return p1.Mul(p2)
+}
+
+// pairwise performs one greedy pairwise-aggregation pass driven by
+// strong negative couplings. Returns the prolongator and the number of
+// aggregates, or (nil, 0) when no pair could be formed at all and the
+// pass would not coarsen.
+func pairwise(a *sparse.CSR, strength float64) (*sparse.CSR, int) {
+	n := a.Rows()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	// Order nodes by ascending degree (fewer strong neighbors first),
+	// which matches the heuristic of aggregating weakly connected
+	// boundary nodes early before their partners are consumed.
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		deg[i] = a.RowPtr[i+1] - a.RowPtr[i]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Counting sort by degree keeps setup O(n + nnz).
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]int, maxDeg+1)
+	for i := 0; i < n; i++ {
+		buckets[deg[i]] = append(buckets[deg[i]], i)
+	}
+	order = order[:0]
+	for _, b := range buckets {
+		order = append(order, b...)
+	}
+
+	nAgg := 0
+	paired := 0
+	for _, i := range order {
+		if assign[i] != -1 {
+			continue
+		}
+		// Strongest available negative coupling of i.
+		maxNeg := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColInd[p]
+			if j != i && -a.Val[p] > maxNeg {
+				maxNeg = -a.Val[p]
+			}
+		}
+		best := -1
+		bestVal := 0.0
+		if maxNeg > 0 {
+			thresh := strength * maxNeg
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				j := a.ColInd[p]
+				if j == i || assign[j] != -1 {
+					continue
+				}
+				if v := -a.Val[p]; v >= thresh && v > bestVal {
+					bestVal = v
+					best = j
+				}
+			}
+		}
+		assign[i] = nAgg
+		if best != -1 {
+			assign[best] = nAgg
+			paired++
+		}
+		nAgg++
+	}
+	if paired == 0 {
+		return nil, 0
+	}
+	t := sparse.NewTriplet(n, nAgg, n)
+	for i, g := range assign {
+		t.Add(i, g, 1)
+	}
+	return t.ToCSR(), nAgg
+}

@@ -1,0 +1,564 @@
+// Package core is the public face of the IR-Fusion reproduction: the
+// Analyzer runs the fused numerical+ML pipeline end to end, the
+// Trainer implements the paper's augmented-curriculum training loop,
+// and NumericalAnalyzer is the pure AMG-PCG baseline (PowerRush) used
+// in the trade-off study.
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"irfusion/internal/amg"
+	"irfusion/internal/circuit"
+	"irfusion/internal/dataset"
+	"irfusion/internal/features"
+	"irfusion/internal/grid"
+	"irfusion/internal/metrics"
+	"irfusion/internal/models"
+	"irfusion/internal/nn"
+	"irfusion/internal/pgen"
+	"irfusion/internal/solver"
+)
+
+// Config assembles every knob of the pipeline. Zero values are filled
+// by Default.
+type Config struct {
+	// Resolution is the square raster size (the contest uses 256; the
+	// reduced-scale default here is 64).
+	Resolution int
+	// RoughIters is the AMG-PCG budget of the numerical stage.
+	RoughIters int
+	// ModelName selects the architecture from the models registry.
+	ModelName string
+	// Base and Depth size the model.
+	Base, Depth int
+	// Seed drives weight init, shuffling, and curriculum sampling.
+	Seed int64
+
+	// Ablation switches (all true for the full IR-Fusion).
+	UseNumerical    bool
+	Hierarchical    bool
+	UseInception    bool
+	UseCBAM         bool
+	UseAugmentation bool
+	UseCurriculum   bool
+
+	// Training hyperparameters.
+	Epochs         int
+	BatchSize      int
+	LearningRate   float64
+	OversampleFake int
+	OversampleReal int
+	CurriculumRamp float64
+	// HotspotWeight, when positive, re-weights the training loss so a
+	// pixel at the golden maximum counts (1 + HotspotWeight)× as much
+	// as a zero-drop pixel — the re-weighting analogue of PGAU's
+	// label-distribution smoothing, emphasizing the worst-case region
+	// that MIRDE and F1 score.
+	HotspotWeight float64
+	// ResidualMode makes the model predict a *correction* to the
+	// rasterized rough solution instead of the absolute drop map, so
+	// the fused prediction is rough + correction. This realizes the
+	// paper's observation that the numerical solution lets "the model
+	// begin training from a point much closer to the target label".
+	// It requires UseNumerical and is ignored otherwise.
+	ResidualMode bool
+	// CosineLR anneals the learning rate to LearningRate/20 with a
+	// cosine schedule instead of keeping it constant.
+	CosineLR bool
+	// ValidationFraction, when positive, holds out that fraction of
+	// the training designs for per-epoch validation; the returned
+	// analyzer carries the weights of the best validation epoch.
+	ValidationFraction float64
+}
+
+// Default returns the full IR-Fusion configuration at the given
+// raster resolution.
+func Default(resolution int) Config {
+	return Config{
+		Resolution:      resolution,
+		RoughIters:      6,
+		ModelName:       "irfusion",
+		Base:            8,
+		Depth:           3,
+		Seed:            1,
+		UseNumerical:    true,
+		Hierarchical:    true,
+		UseInception:    true,
+		UseCBAM:         true,
+		UseAugmentation: true,
+		UseCurriculum:   true,
+		Epochs:          30,
+		BatchSize:       4,
+		LearningRate:    2e-3,
+		OversampleFake:  2,
+		OversampleReal:  5,
+		CurriculumRamp:  0.5,
+		HotspotWeight:   2,
+		ResidualMode:    true,
+	}
+}
+
+// DatasetOptions derives the dataset build options implied by the
+// config.
+func (c Config) DatasetOptions() dataset.Options {
+	opts := dataset.DefaultOptions(c.Resolution, c.Resolution)
+	opts.RoughIters = c.RoughIters
+	opts.IncludeNumerical = c.UseNumerical
+	opts.Hierarchical = c.Hierarchical
+	return opts
+}
+
+// buildModel instantiates the configured architecture sized for the
+// sample's channel count, honouring the Inception/CBAM ablations when
+// the model is IR-Fusion.
+func (c Config) buildModel(inChannels int) (models.Model, error) {
+	mc := models.Config{InChannels: inChannels, Base: c.Base, Depth: c.Depth, Seed: c.Seed}
+	if c.ModelName == "irfusion" {
+		return models.NewIRFusionNetAblated(mc, c.UseInception, true, c.UseCBAM), nil
+	}
+	return models.New(c.ModelName, mc)
+}
+
+// Analyzer is a trained fusion pipeline.
+type Analyzer struct {
+	Config      Config
+	Model       models.Model
+	Norm        *dataset.Normalizer
+	TargetScale float64
+}
+
+// Predict runs the ML stage on a prepared sample and returns the
+// predicted IR-drop map in volts (clamped non-negative). In residual
+// mode the model output corrects the rasterized rough solution.
+func (a *Analyzer) Predict(s *dataset.Sample) *grid.Map {
+	x, _ := dataset.ToTensors([]*dataset.Sample{s})
+	a.Norm.Apply(x)
+	a.Model.SetTraining(false)
+	out := a.Model.Forward(nil, x)
+	m := grid.FromData(s.Golden.H, s.Golden.W, out.Data)
+	inv := 1 / a.TargetScale
+	residual := a.Config.ResidualMode && a.Config.UseNumerical && s.RoughBottom != nil
+	for i, v := range m.Data {
+		v *= inv
+		if residual {
+			v += s.RoughBottom.Data[i]
+		}
+		if v < 0 {
+			v = 0
+		}
+		m.Data[i] = v
+	}
+	return m
+}
+
+// Analyze runs the complete pipeline on a raw design: rough solve,
+// feature extraction, ML refinement. It returns the predicted map and
+// the wall-clock runtime (numerical stage + inference).
+func (a *Analyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, error) {
+	s, err := dataset.Build(d, a.Config.DatasetOptions())
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	pred := a.Predict(s)
+	return pred, s.NumericalTime + time.Since(start), nil
+}
+
+// Evaluate scores the analyzer on prepared samples, charging the
+// numerical stage plus inference to the runtime.
+func (a *Analyzer) Evaluate(samples []*dataset.Sample) []metrics.Report {
+	reports := make([]metrics.Report, 0, len(samples))
+	for _, s := range samples {
+		start := time.Now()
+		pred := a.Predict(s)
+		infer := time.Since(start)
+		r := metrics.Evaluate(pred, s.Golden)
+		r.Runtime = (s.NumericalTime + infer).Seconds()
+		reports = append(reports, r)
+	}
+	return reports
+}
+
+// checkpointData is the single-blob on-disk form of an Analyzer.
+type checkpointData struct {
+	Config      Config
+	NormNames   []string
+	NormScale   []float64
+	TargetScale float64
+	InChannels  int
+	Params      [][]float64
+	State       [][]float64
+}
+
+// Save serializes the whole analyzer — configuration, feature
+// normalizer, target scaling, model weights, and batch-norm state —
+// so LoadAnalyzer can restore an identical predictor.
+func (a *Analyzer) Save(w io.Writer) error {
+	data := checkpointData{
+		Config:      a.Config,
+		NormNames:   a.Norm.Names,
+		NormScale:   a.Norm.Scale,
+		TargetScale: a.TargetScale,
+		InChannels:  len(a.Norm.Scale),
+		State:       a.Model.State(),
+	}
+	for _, p := range a.Model.Params() {
+		data.Params = append(data.Params, p.Data)
+	}
+	return gob.NewEncoder(w).Encode(data)
+}
+
+// LoadAnalyzer restores an analyzer saved with Save, rebuilding the
+// model architecture from the stored configuration.
+func LoadAnalyzer(r io.Reader) (*Analyzer, error) {
+	var data checkpointData
+	if err := gob.NewDecoder(r).Decode(&data); err != nil {
+		return nil, err
+	}
+	model, err := data.Config.buildModel(data.InChannels)
+	if err != nil {
+		return nil, err
+	}
+	params := model.Params()
+	if len(params) != len(data.Params) {
+		return nil, fmt.Errorf("core: checkpoint has %d param tensors, model has %d", len(data.Params), len(params))
+	}
+	for i, p := range params {
+		if len(p.Data) != len(data.Params[i]) {
+			return nil, fmt.Errorf("core: param %d size mismatch", i)
+		}
+		copy(p.Data, data.Params[i])
+	}
+	state := model.State()
+	if len(state) != len(data.State) {
+		return nil, fmt.Errorf("core: checkpoint has %d state vectors, model has %d", len(data.State), len(state))
+	}
+	for i := range state {
+		if len(state[i]) != len(data.State[i]) {
+			return nil, fmt.Errorf("core: state vector %d size mismatch", i)
+		}
+		copy(state[i], data.State[i])
+	}
+	model.SetTraining(false)
+	return &Analyzer{
+		Config:      data.Config,
+		Model:       model,
+		Norm:        &dataset.Normalizer{Names: data.NormNames, Scale: data.NormScale},
+		TargetScale: data.TargetScale,
+	}, nil
+}
+
+// SaveModel serializes the trained weights and batch-norm state.
+func (a *Analyzer) SaveModel(w io.Writer) error {
+	return nn.SaveCheckpoint(w, a.Model.Params(), a.Model.State())
+}
+
+// LoadModel restores trained weights and batch-norm state into the
+// analyzer's model.
+func (a *Analyzer) LoadModel(r io.Reader) error {
+	return nn.LoadCheckpoint(r, a.Model.Params(), a.Model.State())
+}
+
+// TrainResult captures the training trajectory.
+type TrainResult struct {
+	Analyzer   *Analyzer
+	EpochLoss  []float64
+	ValLoss    []float64 // per-epoch validation loss (when enabled)
+	BestEpoch  int       // epoch whose weights the analyzer carries
+	FinalLoss  float64
+	NumParams  int
+	TrainTime  time.Duration
+	NumSamples int
+}
+
+// Train runs the augmented-curriculum training loop of the paper on
+// prepared samples and returns a ready Analyzer.
+func Train(cfg Config, train []*dataset.Sample) (*TrainResult, error) {
+	if len(train) == 0 {
+		return nil, errors.New("core: no training samples")
+	}
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Optional validation hold-out, split before augmentation so a
+	// rotated copy of a validation design never leaks into training.
+	var validation []*dataset.Sample
+	if cfg.ValidationFraction > 0 && len(train) > 1 {
+		shuffled := append([]*dataset.Sample(nil), train...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		nVal := int(cfg.ValidationFraction * float64(len(shuffled)))
+		if nVal < 1 {
+			nVal = 1
+		}
+		if nVal >= len(shuffled) {
+			nVal = len(shuffled) - 1
+		}
+		validation = shuffled[:nVal]
+		train = shuffled[nVal:]
+	}
+
+	working := train
+	if cfg.UseAugmentation {
+		working = dataset.Augment(working)
+		working = dataset.Oversample(working, cfg.OversampleFake, cfg.OversampleReal)
+	}
+	norm := dataset.FitNormalizer(working)
+
+	residual := cfg.ResidualMode && cfg.UseNumerical
+	if residual {
+		for _, s := range working {
+			if s.RoughBottom == nil {
+				return nil, errors.New("core: residual mode needs samples with a rough solution")
+			}
+		}
+	}
+
+	// Scale targets so the head trains in O(1) range.
+	maxDrop := 0.0
+	for _, s := range working {
+		if residual {
+			for i, g := range s.Golden.Data {
+				d := g - s.RoughBottom.Data[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > maxDrop {
+					maxDrop = d
+				}
+			}
+			continue
+		}
+		if m := s.Golden.Max(); m > maxDrop {
+			maxDrop = m
+		}
+	}
+	targetScale := 1.0
+	if maxDrop > 0 {
+		targetScale = 1 / maxDrop
+	}
+
+	model, err := cfg.buildModel(working[0].Features.Channels())
+	if err != nil {
+		return nil, err
+	}
+	model.SetTraining(true)
+	params := model.Params()
+	opt := nn.NewAdam(cfg.LearningRate)
+	opt.GradClip = 5
+
+	cur := dataset.Curriculum{Ramp: cfg.CurriculumRamp}
+	batchSize := cfg.BatchSize
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	res := &TrainResult{NumParams: nn.NumParams(params), NumSamples: len(working)}
+
+	var schedule nn.LRSchedule = nn.ConstantLR{Base: cfg.LearningRate}
+	if cfg.CosineLR {
+		schedule = nn.CosineLR{Base: cfg.LearningRate, Min: cfg.LearningRate / 20}
+	}
+
+	// Best-epoch bookkeeping for validation runs.
+	bestVal := 0.0
+	var bestParams [][]float64
+	var bestState [][]float64
+	snapshotBest := func() {
+		bestParams = bestParams[:0]
+		for _, p := range params {
+			bestParams = append(bestParams, append([]float64(nil), p.Data...))
+		}
+		bestState = bestState[:0]
+		for _, s := range model.State() {
+			bestState = append(bestState, append([]float64(nil), s...))
+		}
+	}
+	valLoss := func() float64 {
+		model.SetTraining(false)
+		defer model.SetTraining(true)
+		total := 0.0
+		for _, s := range validation {
+			x, y := dataset.ToTensors([]*dataset.Sample{s})
+			norm.Apply(x)
+			if residual {
+				rough := dataset.RoughTensor([]*dataset.Sample{s})
+				for i := range y.Data {
+					y.Data[i] -= rough.Data[i]
+				}
+			}
+			for i := range y.Data {
+				y.Data[i] *= targetScale
+			}
+			pred := model.Forward(nil, x)
+			total += nn.MSELoss(nil, pred, y).Data[0]
+		}
+		return total / float64(len(validation))
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = schedule.Rate(epoch, cfg.Epochs)
+		subset := working
+		if cfg.UseCurriculum {
+			subset = cur.Subset(working, epoch, cfg.Epochs, rng)
+		} else {
+			subset = append([]*dataset.Sample(nil), working...)
+			rng.Shuffle(len(subset), func(i, j int) { subset[i], subset[j] = subset[j], subset[i] })
+		}
+		epochLoss, batches := 0.0, 0
+		for b := 0; b < len(subset); b += batchSize {
+			end := b + batchSize
+			if end > len(subset) {
+				end = len(subset)
+			}
+			x, y := dataset.ToTensors(subset[b:end])
+			norm.Apply(x)
+			if residual {
+				rough := dataset.RoughTensor(subset[b:end])
+				for i := range y.Data {
+					y.Data[i] -= rough.Data[i]
+				}
+			}
+			for i := range y.Data {
+				y.Data[i] *= targetScale
+			}
+			tp := nn.NewTape()
+			pred := model.Forward(tp, x)
+			var loss *nn.Tensor
+			switch {
+			case cfg.HotspotWeight > 0:
+				w := hotspotWeights(y, cfg.HotspotWeight)
+				loss = nn.WeightedMSELoss(tp, pred, y, w)
+			default:
+				if lm, ok := model.(models.LossModel); ok {
+					loss = lm.Loss(tp, pred, y)
+				} else {
+					loss = nn.MSELoss(tp, pred, y)
+				}
+			}
+			nn.ZeroGrads(params)
+			tp.Backward(loss)
+			opt.Step(params)
+			epochLoss += loss.Data[0]
+			batches++
+		}
+		if batches > 0 {
+			res.EpochLoss = append(res.EpochLoss, epochLoss/float64(batches))
+		}
+		if len(validation) > 0 {
+			vl := valLoss()
+			res.ValLoss = append(res.ValLoss, vl)
+			if len(res.ValLoss) == 1 || vl < bestVal {
+				bestVal = vl
+				res.BestEpoch = epoch
+				snapshotBest()
+			}
+		}
+	}
+	if n := len(res.EpochLoss); n > 0 {
+		res.FinalLoss = res.EpochLoss[n-1]
+	}
+	if bestParams != nil {
+		for i, p := range params {
+			copy(p.Data, bestParams[i])
+		}
+		for i, s := range model.State() {
+			copy(s, bestState[i])
+		}
+	} else {
+		res.BestEpoch = cfg.Epochs - 1
+	}
+	model.SetTraining(false)
+	res.Analyzer = &Analyzer{Config: cfg, Model: model, Norm: norm, TargetScale: targetScale}
+	res.TrainTime = time.Since(start)
+	return res, nil
+}
+
+// hotspotWeights builds the per-pixel loss weights 1 + hw·(|y|/max|y|)
+// for a (scaled) target batch. Magnitudes are used so residual-mode
+// targets (signed corrections) still get emphasis where the action is.
+func hotspotWeights(y *nn.Tensor, hw float64) *nn.Tensor {
+	w := nn.NewTensor(y.Shape...)
+	maxY := 0.0
+	for _, v := range y.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxY {
+			maxY = v
+		}
+	}
+	if maxY == 0 {
+		w.Fill(1)
+		return w
+	}
+	for i, v := range y.Data {
+		if v < 0 {
+			v = -v
+		}
+		w.Data[i] = 1 + hw*v/maxY
+	}
+	return w
+}
+
+// NumericalAnalyzer is the pure numerical baseline (PowerRush-style
+// budgeted PCG, or a converged golden AMG-PCG solve when Iters <= 0).
+// Budgeted solves use the same preconditioner the fusion pipeline's
+// rough stage uses ("ssor" by default, "amg" for the full K-cycle) so
+// the Fig-7 comparison is engine-for-engine fair.
+type NumericalAnalyzer struct {
+	Iters      int
+	Resolution int
+	Precond    string
+}
+
+// Analyze solves the design and rasterizes the bottom-layer drops,
+// returning the map, runtime, and the relative residual reached.
+func (n *NumericalAnalyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, float64, error) {
+	start := time.Now()
+	nw, err := circuit.FromNetlist(d.Netlist)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sys, err := nw.Assemble()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	x := make([]float64, sys.N())
+	opts := solver.DefaultOptions()
+	var pre solver.Preconditioner
+	if n.Iters > 0 && n.Precond != "amg" {
+		opts = solver.RoughOptions(n.Iters)
+		pre = solver.NewSSOR(sys.G, 2)
+	} else {
+		if n.Iters > 0 {
+			opts = solver.RoughOptions(n.Iters)
+		}
+		h, err := amg.Build(sys.G, amg.DefaultOptions())
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		pre = h
+	}
+	res, err := solver.PCG(sys.G, x, sys.I, pre, opts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	m := features.GoldenMap(nw, sys.FullDrops(x), n.Resolution, n.Resolution)
+	return m, time.Since(start), res.Residual, nil
+}
+
+// ModelNames exposes the registry for CLI listings.
+func ModelNames() []string { return models.Names() }
+
+// Describe formats a one-line pipeline summary.
+func (c Config) Describe() string {
+	return fmt.Sprintf("model=%s res=%d iters=%d base=%d depth=%d num=%v hier=%v incep=%v cbam=%v aug=%v curr=%v",
+		c.ModelName, c.Resolution, c.RoughIters, c.Base, c.Depth,
+		c.UseNumerical, c.Hierarchical, c.UseInception, c.UseCBAM,
+		c.UseAugmentation, c.UseCurriculum)
+}

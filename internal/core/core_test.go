@@ -1,0 +1,434 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"irfusion/internal/dataset"
+	"irfusion/internal/metrics"
+	"irfusion/internal/nn"
+	"irfusion/internal/pgen"
+)
+
+// quickCfg returns a tiny configuration that trains in well under a
+// second per epoch.
+func quickCfg() Config {
+	cfg := Default(32)
+	cfg.Base = 4
+	cfg.Depth = 2
+	cfg.Epochs = 6
+	cfg.LearningRate = 5e-3
+	return cfg
+}
+
+// tinySet builds a small train/test split once per test run.
+func tinySet(t *testing.T, cfg Config, nFake, nReal int) ([]*dataset.Sample, []*dataset.Sample) {
+	t.Helper()
+	all, err := dataset.GenerateSet(nFake, nReal+1, 32, 50, cfg.DatasetOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return all[:nFake+nReal], all[nFake+nReal:]
+}
+
+func TestTrainProducesWorkingAnalyzer(t *testing.T) {
+	cfg := quickCfg()
+	train, test := tinySet(t, cfg, 3, 1)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumParams == 0 || res.TrainTime <= 0 {
+		t.Error("training metadata missing")
+	}
+	if len(res.EpochLoss) != cfg.Epochs {
+		t.Errorf("epoch losses %d, want %d", len(res.EpochLoss), cfg.Epochs)
+	}
+	if res.EpochLoss[len(res.EpochLoss)-1] >= res.EpochLoss[0] {
+		t.Errorf("loss did not improve: %v", res.EpochLoss)
+	}
+	reports := res.Analyzer.Evaluate(test)
+	if len(reports) != 1 {
+		t.Fatal("expected one report")
+	}
+	r := reports[0]
+	if r.Runtime <= 0 {
+		t.Error("runtime not charged")
+	}
+	// The fusion prediction must beat the trivial all-zero predictor.
+	zeroMAE := test[0].Golden.Mean()
+	if r.MAE >= zeroMAE {
+		t.Errorf("prediction MAE %v no better than zero predictor %v", r.MAE, zeroMAE)
+	}
+}
+
+func TestFusionBeatsItsOwnRoughInput(t *testing.T) {
+	// The headline claim in miniature: training on rough numerical
+	// features should refine (not degrade) the rough solution.
+	cfg := quickCfg()
+	cfg.RoughIters = 1
+	cfg.Epochs = 12
+	train, test := tinySet(t, cfg, 4, 2)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := test[0]
+	pred := res.Analyzer.Predict(s)
+	mlMAE := metrics.MAE(pred, s.Golden)
+	roughMAE := metrics.MAE(s.RoughBottom, s.Golden)
+	if mlMAE >= roughMAE {
+		t.Errorf("ML stage failed to refine the 1-iteration rough solution: ml %v vs rough %v", mlMAE, roughMAE)
+	}
+}
+
+func TestPredictNonNegative(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Epochs = 2
+	train, test := tinySet(t, cfg, 2, 1)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := res.Analyzer.Predict(test[0])
+	if pred.Min() < 0 {
+		t.Error("predicted drops must be clamped non-negative")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Epochs = 2
+	train, test := tinySet(t, cfg, 2, 1)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := res.Analyzer.Predict(test[0])
+	var buf bytes.Buffer
+	if err := res.Analyzer.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh analyzer with same architecture, random weights.
+	res2, err := Train(Config{
+		Resolution: cfg.Resolution, RoughIters: cfg.RoughIters,
+		ModelName: cfg.ModelName, Base: cfg.Base, Depth: cfg.Depth,
+		Seed: 99, UseNumerical: true, Hierarchical: true,
+		UseInception: true, UseCBAM: true, ResidualMode: cfg.ResidualMode,
+		Epochs: 1, BatchSize: 2, LearningRate: 1e-3,
+		OversampleFake: 1, OversampleReal: 1, CurriculumRamp: 0.5,
+	}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Analyzer.Norm = res.Analyzer.Norm
+	res2.Analyzer.TargetScale = res.Analyzer.TargetScale
+	if err := res2.Analyzer.LoadModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2 := res2.Analyzer.Predict(test[0])
+	for i := range p1.Data {
+		if p1.Data[i] != p2.Data[i] {
+			t.Fatal("restored model predicts differently")
+		}
+	}
+}
+
+func TestAblationConfigsTrain(t *testing.T) {
+	base := quickCfg()
+	base.Epochs = 2
+	variants := map[string]func(Config) Config{
+		"noNumerical":  func(c Config) Config { c.UseNumerical = false; return c },
+		"noHierarchy":  func(c Config) Config { c.Hierarchical = false; return c },
+		"noInception":  func(c Config) Config { c.UseInception = false; return c },
+		"noCBAM":       func(c Config) Config { c.UseCBAM = false; return c },
+		"noAugment":    func(c Config) Config { c.UseAugmentation = false; return c },
+		"noCurriculum": func(c Config) Config { c.UseCurriculum = false; return c },
+	}
+	for name, mut := range variants {
+		cfg := mut(base)
+		train, test := tinySet(t, cfg, 2, 1)
+		res, err := Train(cfg, train)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep := res.Analyzer.Evaluate(test); len(rep) != 1 {
+			t.Fatalf("%s: evaluation failed", name)
+		}
+	}
+}
+
+func TestAllRegisteredModelsTrain(t *testing.T) {
+	base := quickCfg()
+	base.Epochs = 2
+	train, test := tinySet(t, base, 2, 1)
+	for _, name := range ModelNames() {
+		cfg := base
+		cfg.ModelName = name
+		res, err := Train(cfg, train)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		reports := res.Analyzer.Evaluate(test)
+		if reports[0].MAE < 0 {
+			t.Fatalf("%s: bad report", name)
+		}
+	}
+}
+
+func TestNumericalAnalyzer(t *testing.T) {
+	d, err := pgen.Generate(pgen.DefaultConfig("na", pgen.Fake, 32, 32, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := &NumericalAnalyzer{Iters: 0, Resolution: 32}
+	gm, _, gRes, err := golden.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gRes > 1e-9 {
+		t.Errorf("golden solve residual %v", gRes)
+	}
+	prev := 1e18
+	for _, k := range []int{1, 3, 10} {
+		na := &NumericalAnalyzer{Iters: k, Resolution: 32}
+		m, rt, _, err := na.Analyze(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt <= 0 {
+			t.Error("runtime missing")
+		}
+		mae := metrics.MAE(m, gm)
+		if mae > prev*1.05 {
+			t.Errorf("numerical MAE not improving with iterations: k=%d %v -> %v", k, prev, mae)
+		}
+		prev = mae
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Epochs = 2
+	train, _ := tinySet(t, cfg, 2, 1)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pgen.Generate(pgen.DefaultConfig("e2e", pgen.Real, 32, 32, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, rt, err := res.Analyzer.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.H != 32 || pred.W != 32 {
+		t.Error("prediction shape wrong")
+	}
+	if rt <= 0 {
+		t.Error("runtime missing")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(quickCfg(), nil); err == nil {
+		t.Error("expected error for empty training set")
+	}
+	cfg := quickCfg()
+	cfg.ModelName = "bogus"
+	train, _ := tinySet(t, cfg, 1, 0)
+	if _, err := Train(cfg, train); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Default(64).Describe()
+	for _, want := range []string{"model=irfusion", "res=64", "cbam=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestAnalyzerCheckpointRoundTrip(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Epochs = 2
+	train, test := tinySet(t, cfg, 2, 1)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Analyzer.Predict(test[0])
+	var buf bytes.Buffer
+	if err := res.Analyzer.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadAnalyzer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Predict(test[0])
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("restored analyzer differs at pixel %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	if restored.Config.ModelName != cfg.ModelName || restored.TargetScale != res.Analyzer.TargetScale {
+		t.Error("checkpoint metadata lost")
+	}
+}
+
+func TestLoadAnalyzerGarbage(t *testing.T) {
+	if _, err := LoadAnalyzer(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestHotspotWeightedTraining(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Epochs = 3
+	cfg.HotspotWeight = 4
+	train, test := tinySet(t, cfg, 2, 1)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := res.Analyzer.Evaluate(test); rep[0].MAE < 0 {
+		t.Fatal("evaluation failed")
+	}
+}
+
+func TestHotspotWeights(t *testing.T) {
+	y := nnTensorFrom([]float64{0, 0.5, 1})
+	w := hotspotWeights(y, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if w.Data[i] != want[i] {
+			t.Errorf("w[%d] = %v, want %v", i, w.Data[i], want[i])
+		}
+	}
+	z := nnTensorFrom([]float64{0, 0, 0})
+	wz := hotspotWeights(z, 2)
+	for _, v := range wz.Data {
+		if v != 1 {
+			t.Error("zero target should give unit weights")
+		}
+	}
+}
+
+func nnTensorFrom(v []float64) *nn.Tensor {
+	t := nn.NewTensor(len(v))
+	copy(t.Data, v)
+	return t
+}
+
+func TestResidualModeTrainsAndImproves(t *testing.T) {
+	cfg := quickCfg()
+	cfg.ResidualMode = true
+	cfg.RoughIters = 4
+	cfg.Epochs = 8
+	train, test := tinySet(t, cfg, 4, 2)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := test[0]
+	pred := res.Analyzer.Predict(s)
+	mlMAE := metrics.MAE(pred, s.Golden)
+	roughMAE := metrics.MAE(s.RoughBottom, s.Golden)
+	if mlMAE >= roughMAE {
+		t.Errorf("residual correction should improve on rough: ml %v vs rough %v", mlMAE, roughMAE)
+	}
+}
+
+func TestResidualModeRequiresNumerical(t *testing.T) {
+	cfg := quickCfg()
+	cfg.ResidualMode = true
+	cfg.UseNumerical = false
+	cfg.Epochs = 1
+	train, _ := tinySet(t, cfg, 2, 0)
+	// Without the numerical stage, residual mode silently degrades to
+	// direct prediction (residual := ResidualMode && UseNumerical).
+	if _, err := Train(cfg, train); err != nil {
+		t.Fatalf("direct fallback failed: %v", err)
+	}
+}
+
+func TestResidualModeCheckpointRoundTrip(t *testing.T) {
+	cfg := quickCfg()
+	cfg.ResidualMode = true
+	cfg.Epochs = 2
+	train, test := tinySet(t, cfg, 2, 1)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Analyzer.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadAnalyzer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Config.ResidualMode {
+		t.Fatal("residual flag lost in checkpoint")
+	}
+	a := res.Analyzer.Predict(test[0])
+	b := restored.Predict(test[0])
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("restored residual analyzer differs")
+		}
+	}
+}
+
+func TestCosineLRAndValidationTraining(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Epochs = 5
+	cfg.CosineLR = true
+	cfg.ValidationFraction = 0.25
+	train, test := tinySet(t, cfg, 4, 2)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ValLoss) != cfg.Epochs {
+		t.Fatalf("val losses %d, want %d", len(res.ValLoss), cfg.Epochs)
+	}
+	if res.BestEpoch < 0 || res.BestEpoch >= cfg.Epochs {
+		t.Fatalf("best epoch %d out of range", res.BestEpoch)
+	}
+	// Best epoch must be the argmin of ValLoss.
+	best := 0
+	for i, v := range res.ValLoss {
+		if v < res.ValLoss[best] {
+			best = i
+		}
+	}
+	if best != res.BestEpoch {
+		t.Errorf("BestEpoch = %d, argmin(ValLoss) = %d", res.BestEpoch, best)
+	}
+	if rep := res.Analyzer.Evaluate(test); rep[0].MAE < 0 {
+		t.Fatal("evaluation failed")
+	}
+}
+
+func TestValidationWithoutFractionDisabled(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Epochs = 2
+	train, _ := tinySet(t, cfg, 2, 1)
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ValLoss) != 0 {
+		t.Error("validation should be off by default")
+	}
+	if res.BestEpoch != cfg.Epochs-1 {
+		t.Errorf("BestEpoch = %d, want final epoch", res.BestEpoch)
+	}
+}

@@ -1,0 +1,318 @@
+package features
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"irfusion/internal/amg"
+	"irfusion/internal/circuit"
+	"irfusion/internal/grid"
+	"irfusion/internal/pgen"
+	"irfusion/internal/solver"
+	"irfusion/internal/spice"
+)
+
+// testDesign builds a small generated design plus its solved system.
+func testDesign(t *testing.T) (*pgen.Design, *circuit.Network, *circuit.System, []float64) {
+	t.Helper()
+	d, err := pgen.Generate(pgen.DefaultConfig("f", pgen.Fake, 48, 48, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := circuit.FromNetlist(d.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := nw.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := amg.Build(sys.G, amg.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, sys.N())
+	if _, err := solver.PCG(sys.G, x, sys.I, h, solver.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	return d, nw, sys, sys.FullDrops(x)
+}
+
+func TestNumericalFeaturesPerLayer(t *testing.T) {
+	d, nw, _, full := testDesign(t)
+	s := NumericalFeatures(nw, full, d.H, d.W)
+	if s.Channels() != len(nw.Layers()) {
+		t.Fatalf("channels = %d, want %d layers", s.Channels(), len(nw.Layers()))
+	}
+	for i, name := range s.Names {
+		if !strings.HasPrefix(name, "num_drop_m") {
+			t.Errorf("name %q", name)
+		}
+		if s.Maps[i].Max() < 0 {
+			t.Errorf("layer map %s all negative", name)
+		}
+	}
+	// Bottom layer map should carry larger drops than the top layer
+	// (drop accumulates towards the cells).
+	bottom, top := s.Maps[0], s.Maps[len(s.Maps)-1]
+	if bottom.Max() <= top.Max() {
+		t.Errorf("bottom max drop %v should exceed top max drop %v", bottom.Max(), top.Max())
+	}
+}
+
+func TestGoldenMapProperties(t *testing.T) {
+	d, nw, _, full := testDesign(t)
+	g := GoldenMap(nw, full, d.H, d.W)
+	if g.H != d.H || g.W != d.W {
+		t.Fatalf("shape %dx%d", g.H, g.W)
+	}
+	if g.Min() < 0 {
+		t.Error("golden drops must be non-negative")
+	}
+	if g.Max() <= 0 {
+		t.Error("golden map empty")
+	}
+	// The hotspot pixel should be near a current blob.
+	y, x := g.ArgMax()
+	bestDist := math.Inf(1)
+	for _, b := range d.CurrentBlobs {
+		dx, dy := float64(x-b[0]), float64(y-b[1])
+		if dd := math.Sqrt(dx*dx + dy*dy); dd < bestDist {
+			bestDist = dd
+		}
+	}
+	if bestDist > float64(d.W)/2 {
+		t.Errorf("hotspot at (%d,%d) too far from any current blob (%.1f px)", x, y, bestDist)
+	}
+}
+
+func TestStructureFeatureNamesAndShapes(t *testing.T) {
+	d, nw, _, _ := testDesign(t)
+	s := StructureFeatures(nw, d.H, d.W)
+	wantSuffix := []string{"eff_dist", "pdn_density", "resistance", "sp_resistance"}
+	if s.Channels() != len(nw.Layers())+len(wantSuffix) {
+		t.Fatalf("channels = %d, want %d", s.Channels(), len(nw.Layers())+len(wantSuffix))
+	}
+	for _, name := range wantSuffix {
+		found := false
+		for _, n := range s.Names {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing feature %q", name)
+		}
+	}
+	for i, m := range s.Maps {
+		if m.H != d.H || m.W != d.W {
+			t.Errorf("map %s has shape %dx%d", s.Names[i], m.H, m.W)
+		}
+	}
+}
+
+func TestCurrentAllocationSumsToLoad(t *testing.T) {
+	d, nw, _, _ := testDesign(t)
+	s := StructureFeatures(nw, d.H, d.W)
+	totalLoad := 0.0
+	for _, l := range nw.Loads {
+		totalLoad += l.Amps
+	}
+	allocated := 0.0
+	for i, name := range s.Names {
+		if strings.HasPrefix(name, "current_m") {
+			for _, v := range s.Maps[i].Data {
+				allocated += v
+			}
+		}
+	}
+	if math.Abs(allocated-totalLoad) > 1e-9*totalLoad {
+		t.Errorf("allocated current %v != total load %v", allocated, totalLoad)
+	}
+}
+
+func TestEffectiveDistanceProperties(t *testing.T) {
+	// Single pad at a known position: effective distance equals plain
+	// distance, minimized at the pad.
+	deck := `V1 n1_m2_10_10 0 1
+R1 n1_m2_10_10 n1_m1_10_10 1
+R2 n1_m1_10_10 n1_m1_20_10 1
+I1 n1_m1_20_10 0 0.01
+.end
+`
+	nl, err := spice.ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := circuit.FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := EffectiveDistanceMap(nw, 32, 32)
+	if m.At(10, 10) != 1 { // clamped minimum distance
+		t.Errorf("at pad = %v, want 1", m.At(10, 10))
+	}
+	if got, want := m.At(10, 30), 20.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("at (30,10): %v, want %v", got, want)
+	}
+	// Monotone: closer pixels have smaller effective distance.
+	if m.At(10, 12) >= m.At(10, 25) {
+		t.Error("effective distance not increasing away from pad")
+	}
+}
+
+func TestEffectiveDistanceMultiplePadsSmaller(t *testing.T) {
+	oneP := `V1 n1_m2_0_0 0 1
+R1 n1_m2_0_0 n1_m1_1_1 1
+I1 n1_m1_1_1 0 1m
+.end
+`
+	twoP := `V1 n1_m2_0_0 0 1
+V2 n1_m2_31_31 0 1
+R1 n1_m2_0_0 n1_m1_1_1 1
+R2 n1_m2_31_31 n1_m1_1_1 1
+I1 n1_m1_1_1 0 1m
+.end
+`
+	nl1, _ := spice.ParseString(oneP)
+	nl2, _ := spice.ParseString(twoP)
+	nw1, err := circuit.FromNetlist(nl1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := circuit.FromNetlist(nl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := EffectiveDistanceMap(nw1, 32, 32)
+	m2 := EffectiveDistanceMap(nw2, 32, 32)
+	for i := range m1.Data {
+		if m2.Data[i] > m1.Data[i]+1e-12 {
+			t.Fatal("adding a pad must not increase effective distance anywhere")
+		}
+	}
+}
+
+func TestResistanceMapConservesTotal(t *testing.T) {
+	d, nw, _, _ := testDesign(t)
+	m := ResistanceMap(nw, d.H, d.W)
+	totalR := 0.0
+	for _, r := range nw.Resistors {
+		totalR += r.Ohms
+	}
+	sum := 0.0
+	for _, v := range m.Data {
+		sum += v
+	}
+	if math.Abs(sum-totalR) > 1e-6*totalR {
+		t.Errorf("rasterized resistance %v != netlist total %v", sum, totalR)
+	}
+}
+
+func TestShortestPathResistance(t *testing.T) {
+	// pad --1Ω-- a --2Ω-- b : SP resistance a=1, b=3.
+	deck := `V1 n1_m2_0_0 0 1
+R1 n1_m2_0_0 n1_m1_5_0 1
+R2 n1_m1_5_0 n1_m1_9_0 2
+I1 n1_m1_9_0 0 0.01
+.end
+`
+	nl, _ := spice.ParseString(deck)
+	nw, err := circuit.FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ShortestPathResistanceMap(nw, 10, 10)
+	if got := m.At(0, 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SP(a) = %v, want 1", got)
+	}
+	if got := m.At(0, 9); math.Abs(got-3) > 1e-12 {
+		t.Errorf("SP(b) = %v, want 3", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("SP(pad) = %v, want 0", got)
+	}
+}
+
+func TestDensityMapPositiveOnStraps(t *testing.T) {
+	d, nw, _, _ := testDesign(t)
+	m := DensityMap(nw, d.H, d.W)
+	if m.Max() <= 0 {
+		t.Fatal("density map empty")
+	}
+	nonzero := 0
+	for _, v := range m.Data {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	frac := float64(nonzero) / float64(len(m.Data))
+	if frac < 0.3 {
+		t.Errorf("only %.0f%% of pixels covered by PDN; straps should span the die", frac*100)
+	}
+}
+
+func TestSetResize(t *testing.T) {
+	d, nw, _, full := testDesign(t)
+	s := NumericalFeatures(nw, full, d.H, d.W)
+	r := s.Resize(24, 24)
+	if r.Channels() != s.Channels() {
+		t.Fatal("resize changed channel count")
+	}
+	for _, m := range r.Maps {
+		if m.H != 24 || m.W != 24 {
+			t.Fatal("resize shape wrong")
+		}
+	}
+}
+
+func TestSetAppend(t *testing.T) {
+	a := &Set{}
+	a.Add("x", grid.New(2, 2))
+	b := &Set{}
+	b.Add("y", grid.New(2, 2))
+	a.Append(b)
+	if a.Channels() != 2 || a.Names[1] != "y" {
+		t.Error("Append failed")
+	}
+}
+
+func TestRoughFeaturesApproachGolden(t *testing.T) {
+	// The premise of fusion: numerical features from k iterations get
+	// closer to golden as k grows.
+	d, nw, sys, full := testDesign(t)
+	golden := GoldenMap(nw, full, d.H, d.W)
+	h, err := amg.Build(sys.G, amg.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 4, 10} {
+		x := make([]float64, sys.N())
+		if _, err := solver.PCG(sys.G, x, sys.I, h, solver.RoughOptions(k)); err != nil {
+			t.Fatal(err)
+		}
+		rough := GoldenMap(nw, sys.FullDrops(x), d.H, d.W)
+		mae := grid.MAE(rough, golden)
+		if mae > prev*1.05 {
+			t.Errorf("rough MAE rose with more iterations: %v -> %v at k=%d", prev, mae, k)
+		}
+		prev = mae
+	}
+	if prev > 1e-4*golden.Max()+1e-12 {
+		// 10 K-cycle-PCG iterations should be quite accurate already.
+		t.Logf("note: k=10 rough MAE %v vs golden max %v", prev, golden.Max())
+	}
+}
+
+func TestSetFilter(t *testing.T) {
+	s := &Set{}
+	s.Add("a", grid.New(2, 2))
+	s.Add("b", grid.New(2, 2))
+	s.Add("ab", grid.New(2, 2))
+	f := s.Filter(func(n string) bool { return strings.HasPrefix(n, "a") })
+	if f.Channels() != 2 || f.Names[0] != "a" || f.Names[1] != "ab" {
+		t.Errorf("Filter result %v", f.Names)
+	}
+}

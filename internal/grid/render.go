@@ -1,0 +1,73 @@
+package grid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PPM renders the map as a plain-text PPM (P3) color image using a
+// blue→cyan→green→yellow→red heatmap over the map's own range — the
+// colormap style of the paper's Fig 6 IR-drop plates.
+func (m *Map) PPM() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P3\n%d %d\n255\n", m.W, m.H)
+	mn, mx := m.Min(), m.Max()
+	scale := 0.0
+	if mx > mn {
+		scale = 1 / (mx - mn)
+	}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			r, g, bb := heatColor((m.At(y, x) - mn) * scale)
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d %d %d", r, g, bb)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// heatColor maps t ∈ [0,1] onto the jet-style ramp.
+func heatColor(t float64) (int, int, int) {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	var r, g, b float64
+	switch {
+	case t < 0.25: // blue -> cyan
+		s := t / 0.25
+		r, g, b = 0, s, 1
+	case t < 0.5: // cyan -> green
+		s := (t - 0.25) / 0.25
+		r, g, b = 0, 1, 1-s
+	case t < 0.75: // green -> yellow
+		s := (t - 0.5) / 0.25
+		r, g, b = s, 1, 0
+	default: // yellow -> red
+		s := (t - 0.75) / 0.25
+		r, g, b = 1, 1-s, 0
+	}
+	return int(r*255 + 0.5), int(g*255 + 0.5), int(b*255 + 0.5)
+}
+
+// DiffMap returns |a − b| pixel-wise, the error plate shown beside
+// prediction heatmaps.
+func DiffMap(a, b *Map) *Map {
+	if a.H != b.H || a.W != b.W {
+		panic("grid: DiffMap shape mismatch")
+	}
+	out := New(a.H, a.W)
+	for i := range out.Data {
+		d := a.Data[i] - b.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		out.Data[i] = d
+	}
+	return out
+}

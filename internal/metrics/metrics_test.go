@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"irfusion/internal/grid"
+)
+
+func TestMAEZeroForIdentical(t *testing.T) {
+	m := grid.FromData(2, 2, []float64{1, 2, 3, 4})
+	if MAE(m, m) != 0 {
+		t.Error("MAE of identical maps must be 0")
+	}
+}
+
+func TestClassifyKnown(t *testing.T) {
+	golden := grid.FromData(1, 4, []float64{10, 9.5, 5, 1}) // thresh = 9
+	pred := grid.FromData(1, 4, []float64{9.2, 1, 9.5, 2})
+	c := Classify(pred, golden)
+	// pixel0: g+ p+ TP; pixel1: g+ p- FN; pixel2: g- p+ FP; pixel3: TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Errorf("confusion %+v", c)
+	}
+	if math.Abs(c.Precision()-0.5) > 1e-12 || math.Abs(c.Recall()-0.5) > 1e-12 {
+		t.Error("P/R wrong")
+	}
+	if math.Abs(c.F1()-0.5) > 1e-12 {
+		t.Errorf("F1 = %v, want 0.5", c.F1())
+	}
+}
+
+func TestF1PerfectPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := grid.New(8, 8)
+	for i := range g.Data {
+		g.Data[i] = rng.Float64()
+	}
+	if F1(g, g) != 1 {
+		t.Error("perfect prediction must score F1 = 1")
+	}
+}
+
+func TestF1EdgeCases(t *testing.T) {
+	g := grid.FromData(1, 2, []float64{10, 1})
+	miss := grid.FromData(1, 2, []float64{1, 1}) // no predicted positives
+	if F1(miss, g) != 0 {
+		t.Error("all-miss should be F1 = 0")
+	}
+	var c Confusion
+	if c.F1() != 0 || c.Precision() != 0 || c.Recall() != 0 {
+		t.Error("empty confusion must score 0")
+	}
+}
+
+func TestMIRDE(t *testing.T) {
+	golden := grid.FromData(1, 4, []float64{10, 9.5, 5, 1}) // hotspot = {0,1}
+	pred := grid.FromData(1, 4, []float64{9, 9.5, 0, 0})
+	want := (1.0 + 0.0) / 2
+	if got := MIRDE(pred, golden); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MIRDE = %v, want %v", got, want)
+	}
+}
+
+func TestMaxDropError(t *testing.T) {
+	a := grid.FromData(1, 2, []float64{3, 7})
+	b := grid.FromData(1, 2, []float64{10, 2})
+	if MaxDropError(a, b) != 3 {
+		t.Errorf("MaxDropError = %v, want 3", MaxDropError(a, b))
+	}
+}
+
+func TestCCProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := grid.New(6, 6)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	if math.Abs(CC(g, g)-1) > 1e-12 {
+		t.Error("self-correlation must be 1")
+	}
+	neg := g.Clone().Scale(-1)
+	if math.Abs(CC(neg, g)+1) > 1e-12 {
+		t.Error("negated map must correlate -1")
+	}
+	flat := grid.New(6, 6)
+	if CC(flat, g) != 0 {
+		t.Error("constant map correlation must be 0")
+	}
+}
+
+func TestCCInvariantToAffine(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := grid.New(4, 5)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		scaled := g.Clone().Scale(2.5)
+		for i := range scaled.Data {
+			scaled.Data[i] += 3
+		}
+		return math.Abs(CC(scaled, g)-1) < 1e-9
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateAndAverage(t *testing.T) {
+	g := grid.FromData(1, 4, []float64{10, 9.5, 5, 1})
+	p := grid.FromData(1, 4, []float64{9, 9.5, 5, 1})
+	r := Evaluate(p, g)
+	if r.MAE != 0.25 {
+		t.Errorf("MAE = %v", r.MAE)
+	}
+	avg := Average([]Report{{MAE: 1, F1: 0.5}, {MAE: 3, F1: 1}})
+	if avg.MAE != 2 || avg.F1 != 0.75 {
+		t.Errorf("Average = %+v", avg)
+	}
+	if Average(nil).MAE != 0 {
+		t.Error("empty average should be zero")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Report{MAE: 2e-4, F1: 0.5, MIRDE: 3e-4}.String()
+	if !strings.Contains(s, "MAE=2.00") || !strings.Contains(s, "F1=0.50") {
+		t.Errorf("format: %s", s)
+	}
+}
+
+func TestBetterPredictionScoresBetter(t *testing.T) {
+	// Property: adding noise can only degrade (or tie) MAE, and a
+	// heavily corrupted map should not beat a lightly corrupted one.
+	rng := rand.New(rand.NewSource(3))
+	g := grid.New(16, 16)
+	for i := range g.Data {
+		g.Data[i] = rng.Float64()
+	}
+	mk := func(noise float64) *grid.Map {
+		p := g.Clone()
+		for i := range p.Data {
+			p.Data[i] += noise * rng.NormFloat64()
+		}
+		return p
+	}
+	small, large := mk(0.01), mk(0.5)
+	if MAE(small, g) >= MAE(large, g) {
+		t.Error("MAE ordering violated")
+	}
+	if MIRDE(small, g) >= MIRDE(large, g) {
+		t.Error("MIRDE ordering violated")
+	}
+}
+
+func TestSSIMIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := grid.New(16, 16)
+	for i := range g.Data {
+		g.Data[i] = rng.Float64()
+	}
+	if s := SSIM(g, g); math.Abs(s-1) > 1e-12 {
+		t.Errorf("SSIM(x,x) = %v, want 1", s)
+	}
+}
+
+func TestSSIMOrdersByCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := grid.New(20, 20)
+	for y := 0; y < 20; y++ {
+		for x := 0; x < 20; x++ {
+			g.Set(y, x, math.Sin(float64(x)/3)+math.Cos(float64(y)/4))
+		}
+	}
+	corrupt := func(noise float64) *grid.Map {
+		p := g.Clone()
+		for i := range p.Data {
+			p.Data[i] += noise * rng.NormFloat64()
+		}
+		return p
+	}
+	sSmall := SSIM(corrupt(0.05), g)
+	sBig := SSIM(corrupt(1.0), g)
+	if !(sSmall > sBig) {
+		t.Errorf("SSIM ordering violated: %v (small noise) vs %v (big noise)", sSmall, sBig)
+	}
+	if sSmall < 0.5 {
+		t.Errorf("lightly corrupted SSIM too low: %v", sSmall)
+	}
+}
+
+func TestSSIMStructureVsOffset(t *testing.T) {
+	// SSIM should penalize structural destruction (shuffled pixels)
+	// much harder than a constant luminance offset.
+	rng := rand.New(rand.NewSource(10))
+	g := grid.New(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			g.Set(y, x, float64(x+y))
+		}
+	}
+	offset := g.Clone()
+	for i := range offset.Data {
+		offset.Data[i] += 0.5
+	}
+	shuffled := g.Clone()
+	rng.Shuffle(len(shuffled.Data), func(i, j int) {
+		shuffled.Data[i], shuffled.Data[j] = shuffled.Data[j], shuffled.Data[i]
+	})
+	if SSIM(offset, g) <= SSIM(shuffled, g) {
+		t.Error("offset should preserve structure better than shuffling")
+	}
+}
+
+func TestSSIMTinyMapFallback(t *testing.T) {
+	a := grid.FromData(2, 2, []float64{1, 2, 3, 4})
+	if s := SSIM(a, a); s != 1 {
+		t.Errorf("tiny identical maps: SSIM = %v, want 1", s)
+	}
+	b := grid.FromData(2, 2, []float64{4, 3, 2, 1})
+	if s := SSIM(b, a); s >= 1 {
+		t.Errorf("tiny different maps should not score 1, got %v", s)
+	}
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math"
+
+	"irfusion/internal/grid"
+)
+
+// SSIM computes the mean structural similarity index between a
+// prediction and the golden map with a uniform 7×7 window — the
+// "structural fidelity" notion the paper uses when discussing the
+// Fig-6 heatmaps. The dynamic range is taken from the golden map.
+// Returns a value in [-1, 1]; 1 means structurally identical.
+func SSIM(pred, golden *grid.Map) float64 {
+	if pred.H != golden.H || pred.W != golden.W {
+		panic("metrics: SSIM shape mismatch")
+	}
+	const win = 7
+	half := win / 2
+	l := golden.Max() - golden.Min()
+	if l == 0 {
+		l = 1
+	}
+	c1 := (0.01 * l) * (0.01 * l)
+	c2 := (0.03 * l) * (0.03 * l)
+
+	h, w := golden.H, golden.W
+	total, count := 0.0, 0
+	for cy := half; cy < h-half; cy++ {
+		for cx := half; cx < w-half; cx++ {
+			var sx, sy, sxx, syy, sxy float64
+			for dy := -half; dy <= half; dy++ {
+				for dx := -half; dx <= half; dx++ {
+					a := pred.At(cy+dy, cx+dx)
+					b := golden.At(cy+dy, cx+dx)
+					sx += a
+					sy += b
+					sxx += a * a
+					syy += b * b
+					sxy += a * b
+				}
+			}
+			n := float64(win * win)
+			mx, my := sx/n, sy/n
+			vx := sxx/n - mx*mx
+			vy := syy/n - my*my
+			cov := sxy/n - mx*my
+			ssim := ((2*mx*my + c1) * (2*cov + c2)) /
+				((mx*mx + my*my + c1) * (vx + vy + c2))
+			total += ssim
+			count++
+		}
+	}
+	if count == 0 {
+		// Degenerate tiny maps: fall back to a global comparison.
+		if maxAbsDiff(pred, golden) == 0 {
+			return 1
+		}
+		return CC(pred, golden)
+	}
+	return total / float64(count)
+}
+
+func maxAbsDiff(a, b *grid.Map) float64 {
+	m := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,39 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder constructs a model from a configuration.
+type Builder func(Config) Model
+
+// registry maps model names to builders.
+var registry = map[string]Builder{
+	"iredge":        NewIREDGe,
+	"mavirec":       NewMAVIREC,
+	"irpnet":        NewIRPNet,
+	"pgau":          NewPGAU,
+	"maunet":        NewMAUnet,
+	"contestwinner": NewContestWinner,
+	"irfusion":      NewIRFusionNet,
+}
+
+// Names returns the registered model names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds a registered model by name.
+func New(name string, cfg Config) (Model, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return b(cfg), nil
+}

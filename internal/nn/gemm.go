@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor splits [0, n) across workers and runs fn(start, end) on
+// each chunk concurrently. Falls back to a direct call for small n.
+func parallelFor(n int, fn func(start, end int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// gemm computes C = A·B (+C when accumulate) for row-major dense
+// matrices: A is m×k, B is k×n, C is m×n. The (i,k,j) loop order keeps
+// the inner loop streaming over B and C rows; rows of C are
+// parallelized across cores.
+func gemm(a []float64, b []float64, c []float64, m, k, n int, accumulate bool) {
+	parallelFor(m, func(start, end int) {
+		for i := start; i < end; i++ {
+			ci := c[i*n : (i+1)*n]
+			if !accumulate {
+				for j := range ci {
+					ci[j] = 0
+				}
+			}
+			ai := a[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// gemmTA computes C = Aᵀ·B (+C when accumulate): A is k×m (so Aᵀ is
+// m×k), B is k×n, C is m×n.
+func gemmTA(a []float64, b []float64, c []float64, m, k, n int, accumulate bool) {
+	parallelFor(m, func(start, end int) {
+		for i := start; i < end; i++ {
+			ci := c[i*n : (i+1)*n]
+			if !accumulate {
+				for j := range ci {
+					ci[j] = 0
+				}
+			}
+			for p := 0; p < k; p++ {
+				av := a[p*m+i]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// gemmTB computes C = A·Bᵀ (+C when accumulate): A is m×k, B is n×k,
+// C is m×n.
+func gemmTB(a []float64, b []float64, c []float64, m, k, n int, accumulate bool) {
+	parallelFor(m, func(start, end int) {
+		for i := start; i < end; i++ {
+			ai := a[i*k : (i+1)*k]
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				sum := 0.0
+				for p := 0; p < k; p++ {
+					sum += ai[p] * bj[p]
+				}
+				if accumulate {
+					ci[j] += sum
+				} else {
+					ci[j] = sum
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the on-disk representation of a parameter set plus any
+// non-trainable state (batch-norm running statistics).
+type snapshot struct {
+	Shapes [][]int
+	Data   [][]float64
+	State  [][]float64
+}
+
+// SaveParams serializes a parameter list (order-sensitive) with gob.
+func SaveParams(w io.Writer, params []*Tensor) error {
+	return SaveCheckpoint(w, params, nil)
+}
+
+// LoadParams restores parameter values in place. The parameter list
+// must match the saved one in count and shapes.
+func LoadParams(r io.Reader, params []*Tensor) error {
+	return LoadCheckpoint(r, params, nil)
+}
+
+// SaveCheckpoint serializes parameters plus model state vectors
+// (order-sensitive on both).
+func SaveCheckpoint(w io.Writer, params []*Tensor, state [][]float64) error {
+	s := snapshot{}
+	for _, p := range params {
+		s.Shapes = append(s.Shapes, p.Shape)
+		s.Data = append(s.Data, p.Data)
+	}
+	s.State = state
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// LoadCheckpoint restores parameters and state in place; counts and
+// sizes must match the saved snapshot. A nil state skips state
+// restoration (parameter-only snapshots).
+func LoadCheckpoint(r io.Reader, params []*Tensor, state [][]float64) error {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return err
+	}
+	if len(s.Data) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d tensors, model has %d", len(s.Data), len(params))
+	}
+	for i, p := range params {
+		if len(s.Data[i]) != len(p.Data) {
+			return fmt.Errorf("nn: tensor %d size mismatch: %d vs %d", i, len(s.Data[i]), len(p.Data))
+		}
+	}
+	if state != nil {
+		if len(s.State) != len(state) {
+			return fmt.Errorf("nn: snapshot has %d state vectors, model has %d", len(s.State), len(state))
+		}
+		for i := range state {
+			if len(s.State[i]) != len(state[i]) {
+				return fmt.Errorf("nn: state vector %d size mismatch", i)
+			}
+		}
+	}
+	for i, p := range params {
+		copy(p.Data, s.Data[i])
+	}
+	if state != nil {
+		for i := range state {
+			copy(state[i], s.State[i])
+		}
+	}
+	return nil
+}
+
+// NumParams counts scalar parameters.
+func NumParams(params []*Tensor) int {
+	n := 0
+	for _, p := range params {
+		n += p.Size()
+	}
+	return n
+}

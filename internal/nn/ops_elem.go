@@ -1,0 +1,479 @@
+package nn
+
+import "math"
+
+// Add returns x + y elementwise (same shapes).
+func Add(tp *Tape, x, y *Tensor) *Tensor {
+	if !SameShape(x, y) {
+		panic("nn: Add shape mismatch")
+	}
+	out := result(tp, x.Shape, x, y)
+	for i := range out.Data {
+		out.Data[i] = x.Data[i] + y.Data[i]
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			if x.needsGrad {
+				x.ensureGrad()
+				for i := range out.Grad {
+					x.Grad[i] += out.Grad[i]
+				}
+			}
+			if y.needsGrad {
+				y.ensureGrad()
+				for i := range out.Grad {
+					y.Grad[i] += out.Grad[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Sub returns x − y elementwise.
+func Sub(tp *Tape, x, y *Tensor) *Tensor {
+	if !SameShape(x, y) {
+		panic("nn: Sub shape mismatch")
+	}
+	out := result(tp, x.Shape, x, y)
+	for i := range out.Data {
+		out.Data[i] = x.Data[i] - y.Data[i]
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			if x.needsGrad {
+				x.ensureGrad()
+				for i := range out.Grad {
+					x.Grad[i] += out.Grad[i]
+				}
+			}
+			if y.needsGrad {
+				y.ensureGrad()
+				for i := range out.Grad {
+					y.Grad[i] -= out.Grad[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Mul returns x ⊙ y elementwise.
+func Mul(tp *Tape, x, y *Tensor) *Tensor {
+	if !SameShape(x, y) {
+		panic("nn: Mul shape mismatch")
+	}
+	out := result(tp, x.Shape, x, y)
+	for i := range out.Data {
+		out.Data[i] = x.Data[i] * y.Data[i]
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			if x.needsGrad {
+				x.ensureGrad()
+				for i := range out.Grad {
+					x.Grad[i] += out.Grad[i] * y.Data[i]
+				}
+			}
+			if y.needsGrad {
+				y.ensureGrad()
+				for i := range out.Grad {
+					y.Grad[i] += out.Grad[i] * x.Data[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Scale returns s·x for a constant s.
+func Scale(tp *Tape, x *Tensor, s float64) *Tensor {
+	out := result(tp, x.Shape, x)
+	for i := range out.Data {
+		out.Data[i] = s * x.Data[i]
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			x.ensureGrad()
+			for i := range out.Grad {
+				x.Grad[i] += s * out.Grad[i]
+			}
+		})
+	}
+	return out
+}
+
+// AddScalar returns x + s for a constant s.
+func AddScalar(tp *Tape, x *Tensor, s float64) *Tensor {
+	out := result(tp, x.Shape, x)
+	for i := range out.Data {
+		out.Data[i] = x.Data[i] + s
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			x.ensureGrad()
+			for i := range out.Grad {
+				x.Grad[i] += out.Grad[i]
+			}
+		})
+	}
+	return out
+}
+
+// ReLU returns max(x, 0).
+func ReLU(tp *Tape, x *Tensor) *Tensor {
+	out := result(tp, x.Shape, x)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			x.ensureGrad()
+			for i := range out.Grad {
+				if x.Data[i] > 0 {
+					x.Grad[i] += out.Grad[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// LeakyReLU returns x when positive, alpha·x otherwise.
+func LeakyReLU(tp *Tape, x *Tensor, alpha float64) *Tensor {
+	out := result(tp, x.Shape, x)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = alpha * v
+		}
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			x.ensureGrad()
+			for i := range out.Grad {
+				if x.Data[i] > 0 {
+					x.Grad[i] += out.Grad[i]
+				} else {
+					x.Grad[i] += alpha * out.Grad[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^{−x}).
+func Sigmoid(tp *Tape, x *Tensor) *Tensor {
+	out := result(tp, x.Shape, x)
+	for i, v := range x.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			x.ensureGrad()
+			for i := range out.Grad {
+				s := out.Data[i]
+				x.Grad[i] += out.Grad[i] * s * (1 - s)
+			}
+		})
+	}
+	return out
+}
+
+// Tanh returns tanh(x).
+func Tanh(tp *Tape, x *Tensor) *Tensor {
+	out := result(tp, x.Shape, x)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			x.ensureGrad()
+			for i := range out.Grad {
+				th := out.Data[i]
+				x.Grad[i] += out.Grad[i] * (1 - th*th)
+			}
+		})
+	}
+	return out
+}
+
+// MulChannel multiplies x[N,C,H,W] by a per-channel gate s[N,C,1,1]
+// (the channel-attention product of CBAM).
+func MulChannel(tp *Tape, x, s *Tensor) *Tensor {
+	n, c, h, w := x.Dims4()
+	sn, sc, sh, sw := s.Dims4()
+	if sn != n || sc != c || sh != 1 || sw != 1 {
+		panic("nn: MulChannel gate must be [N,C,1,1]")
+	}
+	out := result(tp, x.Shape, x, s)
+	hw := h * w
+	for i := 0; i < n*c; i++ {
+		g := s.Data[i]
+		base := i * hw
+		for j := 0; j < hw; j++ {
+			out.Data[base+j] = x.Data[base+j] * g
+		}
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			if x.needsGrad {
+				x.ensureGrad()
+				for i := 0; i < n*c; i++ {
+					g := s.Data[i]
+					base := i * hw
+					for j := 0; j < hw; j++ {
+						x.Grad[base+j] += out.Grad[base+j] * g
+					}
+				}
+			}
+			if s.needsGrad {
+				s.ensureGrad()
+				for i := 0; i < n*c; i++ {
+					base := i * hw
+					sum := 0.0
+					for j := 0; j < hw; j++ {
+						sum += out.Grad[base+j] * x.Data[base+j]
+					}
+					s.Grad[i] += sum
+				}
+			}
+		})
+	}
+	return out
+}
+
+// MulSpatial multiplies x[N,C,H,W] by a per-pixel gate s[N,1,H,W]
+// (the spatial-attention product of CBAM and attention gates).
+func MulSpatial(tp *Tape, x, s *Tensor) *Tensor {
+	n, c, h, w := x.Dims4()
+	sn, sc, sh, sw := s.Dims4()
+	if sn != n || sc != 1 || sh != h || sw != w {
+		panic("nn: MulSpatial gate must be [N,1,H,W]")
+	}
+	out := result(tp, x.Shape, x, s)
+	hw := h * w
+	for ni := 0; ni < n; ni++ {
+		gbase := ni * hw
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * hw
+			for j := 0; j < hw; j++ {
+				out.Data[base+j] = x.Data[base+j] * s.Data[gbase+j]
+			}
+		}
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			if x.needsGrad {
+				x.ensureGrad()
+				for ni := 0; ni < n; ni++ {
+					gbase := ni * hw
+					for ci := 0; ci < c; ci++ {
+						base := (ni*c + ci) * hw
+						for j := 0; j < hw; j++ {
+							x.Grad[base+j] += out.Grad[base+j] * s.Data[gbase+j]
+						}
+					}
+				}
+			}
+			if s.needsGrad {
+				s.ensureGrad()
+				for ni := 0; ni < n; ni++ {
+					gbase := ni * hw
+					for ci := 0; ci < c; ci++ {
+						base := (ni*c + ci) * hw
+						for j := 0; j < hw; j++ {
+							s.Grad[gbase+j] += out.Grad[base+j] * x.Data[base+j]
+						}
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Concat concatenates tensors along the channel dimension (dim 1).
+func Concat(tp *Tape, xs ...*Tensor) *Tensor {
+	if len(xs) == 0 {
+		panic("nn: Concat of nothing")
+	}
+	n, _, h, w := xs[0].Dims4()
+	totalC := 0
+	for _, x := range xs {
+		xn, xc, xh, xw := x.Dims4()
+		if xn != n || xh != h || xw != w {
+			panic("nn: Concat shape mismatch")
+		}
+		totalC += xc
+	}
+	out := result(tp, []int{n, totalC, h, w}, xs...)
+	hw := h * w
+	off := 0
+	for _, x := range xs {
+		xc := x.Shape[1]
+		for ni := 0; ni < n; ni++ {
+			src := ni * xc * hw
+			dst := (ni*totalC + off) * hw
+			copy(out.Data[dst:dst+xc*hw], x.Data[src:src+xc*hw])
+		}
+		off += xc
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			off := 0
+			for _, x := range xs {
+				xc := x.Shape[1]
+				if x.needsGrad {
+					x.ensureGrad()
+					for ni := 0; ni < n; ni++ {
+						src := ni * xc * hw
+						dst := (ni*totalC + off) * hw
+						for i := 0; i < xc*hw; i++ {
+							x.Grad[src+i] += out.Grad[dst+i]
+						}
+					}
+				}
+				off += xc
+			}
+		})
+	}
+	return out
+}
+
+// Mean reduces the tensor to its scalar average.
+func Mean(tp *Tape, x *Tensor) *Tensor {
+	out := result(tp, []int{1}, x)
+	sum := 0.0
+	for _, v := range x.Data {
+		sum += v
+	}
+	inv := 1 / float64(x.Size())
+	out.Data[0] = sum * inv
+	if out.needsGrad {
+		tp.record(func() {
+			x.ensureGrad()
+			g := out.Grad[0] * inv
+			for i := range x.Grad {
+				x.Grad[i] += g
+			}
+		})
+	}
+	return out
+}
+
+// MSELoss returns mean((pred − target)²). target is treated as a
+// constant.
+func MSELoss(tp *Tape, pred, target *Tensor) *Tensor {
+	if !SameShape(pred, target) {
+		panic("nn: MSELoss shape mismatch")
+	}
+	out := result(tp, []int{1}, pred)
+	sum := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		sum += d * d
+	}
+	inv := 1 / float64(pred.Size())
+	out.Data[0] = sum * inv
+	if out.needsGrad {
+		tp.record(func() {
+			pred.ensureGrad()
+			g := out.Grad[0] * 2 * inv
+			for i := range pred.Grad {
+				pred.Grad[i] += g * (pred.Data[i] - target.Data[i])
+			}
+		})
+	}
+	return out
+}
+
+// L1Loss returns mean(|pred − target|). target is a constant. The
+// subgradient at zero is taken as 0.
+func L1Loss(tp *Tape, pred, target *Tensor) *Tensor {
+	if !SameShape(pred, target) {
+		panic("nn: L1Loss shape mismatch")
+	}
+	out := result(tp, []int{1}, pred)
+	sum := 0.0
+	for i := range pred.Data {
+		sum += math.Abs(pred.Data[i] - target.Data[i])
+	}
+	inv := 1 / float64(pred.Size())
+	out.Data[0] = sum * inv
+	if out.needsGrad {
+		tp.record(func() {
+			pred.ensureGrad()
+			g := out.Grad[0] * inv
+			for i := range pred.Grad {
+				d := pred.Data[i] - target.Data[i]
+				switch {
+				case d > 0:
+					pred.Grad[i] += g
+				case d < 0:
+					pred.Grad[i] -= g
+				}
+			}
+		})
+	}
+	return out
+}
+
+// AddWeighted returns a·x + b·y, a fused op used for loss mixing.
+func AddWeighted(tp *Tape, x *Tensor, a float64, y *Tensor, b float64) *Tensor {
+	if !SameShape(x, y) {
+		panic("nn: AddWeighted shape mismatch")
+	}
+	out := result(tp, x.Shape, x, y)
+	for i := range out.Data {
+		out.Data[i] = a*x.Data[i] + b*y.Data[i]
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			if x.needsGrad {
+				x.ensureGrad()
+				for i := range out.Grad {
+					x.Grad[i] += a * out.Grad[i]
+				}
+			}
+			if y.needsGrad {
+				y.ensureGrad()
+				for i := range out.Grad {
+					y.Grad[i] += b * out.Grad[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// WeightedMSELoss returns mean(w ⊙ (pred − target)²) for a constant
+// per-element weight tensor — used to emphasize hotspot pixels (the
+// label-distribution-smoothing idea of PGAU applied as re-weighting).
+func WeightedMSELoss(tp *Tape, pred, target, w *Tensor) *Tensor {
+	if !SameShape(pred, target) || !SameShape(pred, w) {
+		panic("nn: WeightedMSELoss shape mismatch")
+	}
+	out := result(tp, []int{1}, pred)
+	sum := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		sum += w.Data[i] * d * d
+	}
+	inv := 1 / float64(pred.Size())
+	out.Data[0] = sum * inv
+	if out.needsGrad {
+		tp.record(func() {
+			pred.ensureGrad()
+			g := out.Grad[0] * 2 * inv
+			for i := range pred.Grad {
+				pred.Grad[i] += g * w.Data[i] * (pred.Data[i] - target.Data[i])
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package nn
+
+// AvgPool3x3Same performs 3×3 average pooling with stride 1 and
+// zero padding 1 (count-include-pad semantics), preserving the spatial
+// size. Used by the pooling branch of Inception blocks.
+func AvgPool3x3Same(tp *Tape, x *Tensor) *Tensor {
+	n, c, h, w := x.Dims4()
+	out := result(tp, x.Shape, x)
+	const inv = 1.0 / 9.0
+	for nc := 0; nc < n*c; nc++ {
+		base := nc * h * w
+		for y := 0; y < h; y++ {
+			y0, y1 := y-1, y+1
+			for xx := 0; xx < w; xx++ {
+				sum := 0.0
+				for sy := y0; sy <= y1; sy++ {
+					if sy < 0 || sy >= h {
+						continue
+					}
+					row := base + sy*w
+					for sx := xx - 1; sx <= xx+1; sx++ {
+						if sx >= 0 && sx < w {
+							sum += x.Data[row+sx]
+						}
+					}
+				}
+				out.Data[base+y*w+xx] = sum * inv
+			}
+		}
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			x.ensureGrad()
+			for nc := 0; nc < n*c; nc++ {
+				base := nc * h * w
+				for y := 0; y < h; y++ {
+					for xx := 0; xx < w; xx++ {
+						g := out.Grad[base+y*w+xx] * inv
+						for sy := y - 1; sy <= y+1; sy++ {
+							if sy < 0 || sy >= h {
+								continue
+							}
+							row := base + sy*w
+							for sx := xx - 1; sx <= xx+1; sx++ {
+								if sx >= 0 && sx < w {
+									x.Grad[row+sx] += g
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// BroadcastHW expands x[N,C,1,1] to [N,C,H,W] by replication (the
+// upsampling of a globally pooled pyramid level).
+func BroadcastHW(tp *Tape, x *Tensor, h, w int) *Tensor {
+	n, c, xh, xw := x.Dims4()
+	if xh != 1 || xw != 1 {
+		panic("nn: BroadcastHW input must be [N,C,1,1]")
+	}
+	out := result(tp, []int{n, c, h, w}, x)
+	hw := h * w
+	for nc := 0; nc < n*c; nc++ {
+		v := x.Data[nc]
+		base := nc * hw
+		for j := 0; j < hw; j++ {
+			out.Data[base+j] = v
+		}
+	}
+	if out.needsGrad {
+		tp.record(func() {
+			x.ensureGrad()
+			for nc := 0; nc < n*c; nc++ {
+				base := nc * hw
+				sum := 0.0
+				for j := 0; j < hw; j++ {
+					sum += out.Grad[base+j]
+				}
+				x.Grad[nc] += sum
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package nn
+
+import "math"
+
+// LRSchedule yields the learning rate for a given epoch.
+type LRSchedule interface {
+	Rate(epoch, totalEpochs int) float64
+}
+
+// ConstantLR keeps the base rate throughout.
+type ConstantLR struct{ Base float64 }
+
+// Rate implements LRSchedule.
+func (c ConstantLR) Rate(int, int) float64 { return c.Base }
+
+// CosineLR anneals from Base to Min over the training run following a
+// half cosine — the standard schedule for small CNN training runs.
+type CosineLR struct {
+	Base, Min float64
+}
+
+// Rate implements LRSchedule.
+func (c CosineLR) Rate(epoch, total int) float64 {
+	if total <= 1 {
+		return c.Base
+	}
+	t := float64(epoch) / float64(total-1)
+	return c.Min + 0.5*(c.Base-c.Min)*(1+math.Cos(math.Pi*t))
+}
+
+// StepLR multiplies the rate by Gamma every Every epochs.
+type StepLR struct {
+	Base, Gamma float64
+	Every       int
+}
+
+// Rate implements LRSchedule.
+func (s StepLR) Rate(epoch, _ int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(epoch/s.Every))
+}
+
+// WarmupCosineLR ramps linearly from 0 to Base over Warmup epochs,
+// then cosine-anneals to Min.
+type WarmupCosineLR struct {
+	Base, Min float64
+	Warmup    int
+}
+
+// Rate implements LRSchedule.
+func (w WarmupCosineLR) Rate(epoch, total int) float64 {
+	if w.Warmup > 0 && epoch < w.Warmup {
+		return w.Base * float64(epoch+1) / float64(w.Warmup)
+	}
+	rest := total - w.Warmup
+	if rest <= 1 {
+		return w.Base
+	}
+	t := float64(epoch-w.Warmup) / float64(rest-1)
+	if t > 1 {
+		t = 1
+	}
+	return w.Min + 0.5*(w.Base-w.Min)*(1+math.Cos(math.Pi*t))
+}

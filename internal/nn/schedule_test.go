@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR{Base: 0.1}
+	for _, e := range []int{0, 5, 99} {
+		if s.Rate(e, 100) != 0.1 {
+			t.Fatal("constant schedule must not vary")
+		}
+	}
+}
+
+func TestCosineLREndpoints(t *testing.T) {
+	s := CosineLR{Base: 1, Min: 0.01}
+	if got := s.Rate(0, 10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("start = %v, want 1", got)
+	}
+	if got := s.Rate(9, 10); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("end = %v, want 0.01", got)
+	}
+	// Monotone decreasing.
+	prev := math.Inf(1)
+	for e := 0; e < 10; e++ {
+		cur := s.Rate(e, 10)
+		if cur > prev {
+			t.Fatalf("cosine not monotone at %d: %v -> %v", e, prev, cur)
+		}
+		prev = cur
+	}
+	// Degenerate single-epoch run.
+	if s.Rate(0, 1) != 1 {
+		t.Error("single-epoch run should use base")
+	}
+}
+
+func TestStepLR(t *testing.T) {
+	s := StepLR{Base: 1, Gamma: 0.1, Every: 3}
+	cases := map[int]float64{0: 1, 2: 1, 3: 0.1, 5: 0.1, 6: 0.01}
+	for e, want := range cases {
+		if got := s.Rate(e, 100); math.Abs(got-want) > 1e-12 {
+			t.Errorf("epoch %d: %v, want %v", e, got, want)
+		}
+	}
+	bad := StepLR{Base: 1, Gamma: 0.1, Every: 0}
+	if bad.Rate(7, 10) != 1 {
+		t.Error("Every=0 should behave as constant")
+	}
+}
+
+func TestWarmupCosineLR(t *testing.T) {
+	s := WarmupCosineLR{Base: 1, Min: 0, Warmup: 4}
+	if got := s.Rate(0, 20); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("first warmup step %v, want 0.25", got)
+	}
+	if got := s.Rate(3, 20); math.Abs(got-1) > 1e-12 {
+		t.Errorf("last warmup step %v, want 1", got)
+	}
+	if got := s.Rate(4, 20); math.Abs(got-1) > 1e-12 {
+		t.Errorf("post-warmup start %v, want base", got)
+	}
+	if got := s.Rate(19, 20); math.Abs(got) > 1e-12 {
+		t.Errorf("end %v, want Min=0", got)
+	}
+}

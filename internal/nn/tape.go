@@ -1,0 +1,57 @@
+package nn
+
+// Tape records the operations of a forward pass so Backward can
+// replay their adjoints in reverse order. Create one tape per forward
+// pass; inference can pass a nil tape to every op to skip recording.
+type Tape struct {
+	steps []func()
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// record registers a backward closure. A nil tape records nothing.
+func (t *Tape) record(fn func()) {
+	if t != nil {
+		t.steps = append(t.steps, fn)
+	}
+}
+
+// Backward seeds d(loss)/d(loss)=1 on the scalar loss tensor and runs
+// all recorded adjoints in reverse. Parameter gradients accumulate
+// into their Grad buffers.
+func (t *Tape) Backward(loss *Tensor) {
+	if loss.Size() != 1 {
+		panic("nn: Backward requires a scalar loss")
+	}
+	loss.ensureGrad()
+	loss.Grad[0] = 1
+	for i := len(t.steps) - 1; i >= 0; i-- {
+		t.steps[i]()
+	}
+}
+
+// Len reports the number of recorded operations (for tests).
+func (t *Tape) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.steps)
+}
+
+// result builds an output tensor for an op: it needs a gradient buffer
+// when any input tracks gradients and a tape is recording.
+func result(tp *Tape, shape []int, inputs ...*Tensor) *Tensor {
+	out := NewTensor(shape...)
+	if tp == nil {
+		return out
+	}
+	for _, in := range inputs {
+		if in.needsGrad {
+			out.needsGrad = true
+			out.ensureGrad()
+			break
+		}
+	}
+	return out
+}

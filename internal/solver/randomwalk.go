@@ -1,0 +1,139 @@
+package solver
+
+import (
+	"errors"
+	"math/rand"
+
+	"irfusion/internal/sparse"
+)
+
+// RandomWalk is the Monte-Carlo power-grid solver of Qian, Nassif and
+// Sapatnekar ("Power grid analysis using random walks", TCAD 2005),
+// included as the stochastic baseline of the solver family. For the
+// IR-drop system G·d = I (diagonally dominant M-matrix with the pads
+// eliminated at drop 0), the drop at node i is the expected payoff of
+// a random walk that, at each node j, either
+//
+//   - terminates ("reaches home") with probability g_pad(j)/G_jj —
+//     the conductance from j to eliminated pad nodes — collecting 0, or
+//   - steps to neighbor k with probability g_jk/G_jj,
+//
+// accumulating the motel cost I_j/G_jj at every visit of node j.
+type RandomWalk struct {
+	a      *sparse.CSR
+	b      []float64
+	motel  []float64   // I_j / G_jj
+	stayP  []float64   // termination probability at j
+	nbr    [][]int32   // neighbor node ids
+	cumP   [][]float64 // cumulative transition probabilities (after termination slot)
+	maxLen int
+}
+
+// ErrNotWalkable indicates the matrix is not strictly diagonally
+// dominant anywhere (no termination states), so walks cannot end.
+var ErrNotWalkable = errors.New("solver: random walk needs at least one strictly dominant row")
+
+// NewRandomWalk prepares the walk tables for the SPD system a·d = b.
+func NewRandomWalk(a *sparse.CSR, b []float64) (*RandomWalk, error) {
+	n := a.Rows()
+	rw := &RandomWalk{
+		a: a, b: b,
+		motel:  make([]float64, n),
+		stayP:  make([]float64, n),
+		nbr:    make([][]int32, n),
+		cumP:   make([][]float64, n),
+		maxLen: 100 * n,
+	}
+	anyTerm := false
+	for i := 0; i < n; i++ {
+		diag := 0.0
+		var nbr []int32
+		var w []float64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColInd[p]
+			v := a.Val[p]
+			if j == i {
+				diag = v
+				continue
+			}
+			if v > 0 {
+				return nil, errors.New("solver: random walk needs an M-matrix (non-positive off-diagonals)")
+			}
+			nbr = append(nbr, int32(j))
+			w = append(w, -v)
+		}
+		if diag <= 0 {
+			return nil, errors.New("solver: random walk needs a positive diagonal")
+		}
+		rw.motel[i] = b[i] / diag
+		term := diag
+		for _, x := range w {
+			term -= x
+		}
+		if term < 0 {
+			term = 0
+		}
+		rw.stayP[i] = term / diag
+		if rw.stayP[i] > 1e-12 {
+			anyTerm = true
+		}
+		cum := make([]float64, len(w))
+		acc := rw.stayP[i]
+		for k, x := range w {
+			acc += x / diag
+			cum[k] = acc
+		}
+		rw.nbr[i] = nbr
+		rw.cumP[i] = cum
+	}
+	if !anyTerm {
+		return nil, ErrNotWalkable
+	}
+	return rw, nil
+}
+
+// Node estimates d_i with walks Monte-Carlo runs. This is the
+// headline capability of random-walk solvers: a single node's drop
+// without solving the whole system.
+func (rw *RandomWalk) Node(i int, walks int, rng *rand.Rand) float64 {
+	if walks < 1 {
+		walks = 1
+	}
+	total := 0.0
+	for w := 0; w < walks; w++ {
+		total += rw.walkFrom(i, rng)
+	}
+	return total / float64(walks)
+}
+
+// Solve estimates the whole vector with walks runs per node. It is
+// O(n·walks·len) and intended for cross-checking and small systems.
+func (rw *RandomWalk) Solve(x []float64, walks int, rng *rand.Rand) {
+	for i := range x {
+		x[i] = rw.Node(i, walks, rng)
+	}
+}
+
+// walkFrom runs one walk and returns its accumulated payoff.
+func (rw *RandomWalk) walkFrom(start int, rng *rand.Rand) float64 {
+	payoff := 0.0
+	cur := start
+	for step := 0; step < rw.maxLen; step++ {
+		payoff += rw.motel[cur]
+		u := rng.Float64()
+		if u < rw.stayP[cur] {
+			return payoff // reached a pad-adjacent termination
+		}
+		cum := rw.cumP[cur]
+		// Linear scan: node degrees in power grids are tiny (≤ 6).
+		next := len(cum) - 1
+		for k, c := range cum {
+			if u < c {
+				next = k
+				break
+			}
+		}
+		cur = int(rw.nbr[cur][next])
+	}
+	return payoff // truncated; bias vanishes as maxLen grows
+}

@@ -1,0 +1,259 @@
+// Package solver provides the Krylov solvers of the numerical stage:
+// conjugate gradients (CG), preconditioned CG, and flexible PCG for
+// nonlinear preconditioners such as the AMG K-cycle. It exposes the
+// single knob the IR-Fusion framework relies on — the iteration budget
+// — so callers can request a deliberately rough solution.
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"irfusion/internal/sparse"
+)
+
+// Preconditioner applies z = M⁻¹·r. Implementations must treat z as
+// output-only. The AMG hierarchy (amg.Hierarchy) implements this.
+type Preconditioner interface {
+	Apply(z, r []float64)
+}
+
+// Identity is the trivial preconditioner (plain CG).
+type Identity struct{}
+
+// Apply copies r into z.
+func (Identity) Apply(z, r []float64) { copy(z, r) }
+
+// Jacobi is diagonal scaling, the cheapest nontrivial preconditioner
+// and a classic baseline against AMG.
+type Jacobi struct {
+	InvDiag []float64
+}
+
+// NewJacobi builds a Jacobi preconditioner from the matrix diagonal.
+func NewJacobi(a *sparse.CSR) *Jacobi {
+	d := a.Diag()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v != 0 {
+			inv[i] = 1 / v
+		}
+	}
+	return &Jacobi{InvDiag: inv}
+}
+
+// Apply computes z = D⁻¹·r.
+func (j *Jacobi) Apply(z, r []float64) {
+	for i := range r {
+		z[i] = j.InvDiag[i] * r[i]
+	}
+}
+
+// Options controls a PCG run.
+type Options struct {
+	// Tol is the relative-residual stopping tolerance ‖r‖/‖b‖.
+	Tol float64
+	// MaxIter caps the number of iterations. For the rough solves of
+	// the fusion pipeline this IS the budget (set Tol to 0 to force
+	// exactly MaxIter iterations unless the residual hits zero).
+	MaxIter int
+	// Flexible selects the Polak-Ribière update of β, required when
+	// the preconditioner is nonlinear (the AMG K-cycle is: its
+	// truncation test makes M⁻¹ vary between applications).
+	Flexible bool
+	// Record keeps the relative residual after every iteration.
+	Record bool
+}
+
+// DefaultOptions returns a converged-solve configuration.
+func DefaultOptions() Options {
+	return Options{Tol: 1e-10, MaxIter: 1000, Flexible: true, Record: true}
+}
+
+// RoughOptions returns the k-iteration rough-solve configuration used
+// by the fusion pipeline.
+func RoughOptions(iters int) Options {
+	return Options{Tol: 0, MaxIter: iters, Flexible: true, Record: true}
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	Iterations int
+	Residual   float64   // final relative residual ‖b−Ax‖/‖b‖
+	History    []float64 // per-iteration relative residuals (if recorded)
+	Converged  bool
+}
+
+// ErrIndefinite is returned when CG detects a non-SPD operator or
+// preconditioner (non-positive curvature or inner product).
+var ErrIndefinite = errors.New("solver: operator or preconditioner not positive definite")
+
+// PCG solves A·x = b with preconditioned conjugate gradients. x holds
+// the initial guess on entry and the solution on return.
+func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (Result, error) {
+	n := a.Rows()
+	if len(x) != n || len(b) != n {
+		return Result{}, errors.New("solver: dimension mismatch")
+	}
+	if m == nil {
+		m = Identity{}
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = n
+	}
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	var zPrev, rPrev []float64
+	if opts.Flexible {
+		zPrev = make([]float64, n)
+		rPrev = make([]float64, n)
+	}
+
+	bn := sparse.Norm2(b)
+	if bn == 0 {
+		sparse.Zero(x)
+		return Result{Converged: true}, nil
+	}
+
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	res := Result{}
+	rel := sparse.Norm2(r) / bn
+	if opts.Record {
+		res.History = append(res.History, rel)
+	}
+	if opts.Tol > 0 && rel < opts.Tol {
+		res.Converged = true
+		res.Residual = rel
+		return res, nil
+	}
+
+	m.Apply(z, r)
+	copy(p, z)
+	rz := sparse.Dot(r, z)
+	if rz <= 0 {
+		return res, ErrIndefinite
+	}
+
+	for k := 0; k < opts.MaxIter; k++ {
+		a.MulVec(ap, p)
+		pap := sparse.Dot(p, ap)
+		if pap <= 0 {
+			return res, ErrIndefinite
+		}
+		alpha := rz / pap
+		if opts.Flexible {
+			copy(rPrev, r)
+			copy(zPrev, z)
+		}
+		sparse.Axpy(alpha, p, x)
+		sparse.Axpy(-alpha, ap, r)
+		res.Iterations = k + 1
+
+		rel = sparse.Norm2(r) / bn
+		if opts.Record {
+			res.History = append(res.History, rel)
+		}
+		if rel == 0 || (opts.Tol > 0 && rel < opts.Tol) {
+			res.Converged = true
+			break
+		}
+
+		m.Apply(z, r)
+		var rzNew float64
+		if opts.Flexible {
+			// Polak-Ribière: β = z·(r − r_prev) / (z_prev·r_prev).
+			num := 0.0
+			for i := range z {
+				num += z[i] * (r[i] - rPrev[i])
+			}
+			rzNew = sparse.Dot(r, z)
+			beta := num / rz
+			if beta < 0 {
+				beta = 0 // restart
+			}
+			for i := range p {
+				p[i] = z[i] + beta*p[i]
+			}
+		} else {
+			rzNew = sparse.Dot(r, z)
+			beta := rzNew / rz
+			for i := range p {
+				p[i] = z[i] + beta*p[i]
+			}
+		}
+		if rzNew <= 0 {
+			return res, ErrIndefinite
+		}
+		rz = rzNew
+	}
+	res.Residual = rel
+	if opts.Tol > 0 && rel < opts.Tol {
+		res.Converged = true
+	}
+	return res, nil
+}
+
+// CG solves A·x = b with unpreconditioned conjugate gradients.
+func CG(a *sparse.CSR, x, b []float64, opts Options) (Result, error) {
+	opts.Flexible = false
+	return PCG(a, x, b, Identity{}, opts)
+}
+
+// RelResidual returns ‖b − A·x‖ / ‖b‖ (or the absolute residual norm
+// when b is zero).
+func RelResidual(a *sparse.CSR, x, b []float64) float64 {
+	n := a.Rows()
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bn := sparse.Norm2(b)
+	if bn == 0 {
+		return sparse.Norm2(r)
+	}
+	return sparse.Norm2(r) / bn
+}
+
+// MaxAbsDiff returns max_i |a_i − b_i|, a convenience for comparing a
+// rough solution against golden.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// SSOR is a symmetric-Gauss-Seidel (SSOR-type) preconditioner: each
+// application performs Sweeps symmetric sweeps on A·z = r from a zero
+// guess. Its per-iteration progress is deliberately modest — on the
+// miniature grids of this reproduction it emulates how AMG-PCG
+// advances per iteration on industrial-scale designs, keeping the
+// paper's 1-10 iteration trade-off axis meaningful (see DESIGN.md).
+type SSOR struct {
+	A      *sparse.CSR
+	Sweeps int
+}
+
+// NewSSOR builds the smoother preconditioner.
+func NewSSOR(a *sparse.CSR, sweeps int) *SSOR {
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	return &SSOR{A: a, Sweeps: sweeps}
+}
+
+// Apply runs the symmetric sweeps.
+func (s *SSOR) Apply(z, r []float64) {
+	sparse.Zero(z)
+	sparse.SymmetricGaussSeidel(s.A, z, r, s.Sweeps)
+}

@@ -1,0 +1,108 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChebyshevReducesResidual(t *testing.T) {
+	a := laplacian2D(12, 12)
+	n := a.Rows()
+	c := NewChebyshev(a, 3, 10)
+	if c.LambdaMax <= 0 || c.LambdaMax > 3 {
+		t.Fatalf("implausible lambda max for scaled Laplacian: %v", c.LambdaMax)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	resid := func() float64 {
+		a.MulVec(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		return Norm2(r)
+	}
+	before := resid()
+	prev := before
+	for sweep := 0; sweep < 5; sweep++ {
+		c.Smooth(x, b)
+		cur := resid()
+		if cur > prev*1.0001 {
+			t.Fatalf("sweep %d increased residual: %v -> %v", sweep, prev, cur)
+		}
+		prev = cur
+	}
+	if prev > 0.5*before {
+		t.Errorf("five degree-3 sweeps only reduced residual %v -> %v", before, prev)
+	}
+}
+
+func TestChebyshevDampsHighFrequency(t *testing.T) {
+	// Smoothers must crush oscillatory error fast: start from a
+	// checkerboard error with zero RHS and watch it collapse.
+	a := laplacian2D(16, 16)
+	n := a.Rows()
+	c := NewChebyshev(a, 2, 10)
+	x := make([]float64, n)
+	for i := range x {
+		if (i/16+i%16)%2 == 0 {
+			x[i] = 1
+		} else {
+			x[i] = -1
+		}
+	}
+	b := make([]float64, n)
+	before := Norm2(x)
+	c.Smooth(x, b)
+	c.Smooth(x, b)
+	after := Norm2(x)
+	// The checkerboard sits near the top of the spectrum, but the
+	// boundary rows fold in mid-spectrum components that damp more
+	// slowly; require solid (not total) reduction from two degree-2
+	// sweeps.
+	if after > 0.5*before {
+		t.Errorf("high-frequency error barely damped: %v -> %v", before, after)
+	}
+	// A higher-degree polynomial must do strictly better.
+	x6 := make([]float64, n)
+	for i := range x6 {
+		if (i/16+i%16)%2 == 0 {
+			x6[i] = 1
+		} else {
+			x6[i] = -1
+		}
+	}
+	c6 := NewChebyshev(a, 6, 10)
+	c6.Smooth(x6, b)
+	c6.Smooth(x6, b)
+	if got := Norm2(x6); got >= after {
+		t.Errorf("degree-6 smoothing (%v) should beat degree-2 (%v)", got, after)
+	}
+}
+
+func TestChebyshevSolvesWithEnoughSweeps(t *testing.T) {
+	a := laplacian2D(8, 8)
+	n := a.Rows()
+	rng := rand.New(rand.NewSource(2))
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	a.MulVec(b, want)
+	x := make([]float64, n)
+	c := NewChebyshev(a, 5, 15)
+	for s := 0; s < 400; s++ {
+		c.Smooth(x, b)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}

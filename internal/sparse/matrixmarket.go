@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market exchange format support (coordinate real
+// general/symmetric), so conductance systems can be exported to and
+// cross-checked against external solvers and published PG benchmarks
+// (the IBM power-grid suite ships in this format).
+
+// WriteMatrixMarket writes m in coordinate real general format.
+// Indices are 1-based per the specification.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general")
+	fmt.Fprintf(bw, "%d %d %d\n", m.Rows(), m.Cols(), m.NNZ())
+	for i := 0; i < m.Rows(); i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			fmt.Fprintf(bw, "%d %d %s\n", i+1, m.ColInd[p]+1,
+				strconv.FormatFloat(m.Val[p], 'g', -1, 64))
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a coordinate real matrix. The "general" and
+// "symmetric" qualifiers are supported; for symmetric input the
+// missing triangle is mirrored.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 256*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket banner %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: only coordinate format supported, got %q", header[2])
+	}
+	if header[3] != "real" && header[3] != "integer" {
+		return nil, fmt.Errorf("sparse: only real/integer fields supported, got %q", header[3])
+	}
+	symmetric := false
+	switch header[4] {
+	case "general":
+	case "symmetric":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", header[4])
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: bad dimensions %dx%d", rows, cols)
+	}
+	t := NewTriplet(rows, cols, nnz)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		var i, j int
+		var v float64
+		if _, err := fmt.Sscan(line, &i, &j, &v); err != nil {
+			return nil, fmt.Errorf("sparse: bad entry %q: %w", line, err)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range", i, j)
+		}
+		t.Add(i-1, j-1, v)
+		if symmetric && i != j {
+			t.Add(j-1, i-1, v)
+		}
+		read++
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t.ToCSR(), nil
+}

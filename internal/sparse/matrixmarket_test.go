@@ -1,0 +1,136 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSPD(2+rng.Intn(30), rng)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a); err != nil {
+			return false
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Rows() != a.Rows() || back.Cols() != a.Cols() || back.NNZ() != a.NNZ() {
+			return false
+		}
+		for i := 0; i < a.Rows(); i++ {
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				if back.At(i, a.ColInd[p]) != a.Val[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixMarketSymmetricExpansion(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% lower triangle only
+3 3 4
+1 1 2
+2 1 -1
+2 2 2
+3 3 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != -1 || m.At(1, 0) != -1 {
+		t.Error("symmetric mirror missing")
+	}
+	if m.NNZ() != 5 {
+		t.Errorf("NNZ = %d, want 5", m.NNZ())
+	}
+	if !m.IsSymmetric(1e-14) {
+		t.Error("expanded matrix not symmetric")
+	}
+}
+
+func TestMatrixMarketCommentsAndBlanks(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+
+2 2 2
+% another
+1 1 5
+
+2 2 7
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 5 || m.At(1, 1) != 7 {
+		t.Error("entries wrong")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad-banner": "%%NotMM matrix coordinate real general\n1 1 0\n",
+		"bad-format": "%%MatrixMarket matrix array real general\n1 1\n",
+		"bad-field":  "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"bad-sym":    "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"bad-size":   "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"neg-dim":    "%%MatrixMarket matrix coordinate real general\n-1 2 0\n",
+		"range":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"truncated":  "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
+		"bad-entry":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 a 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMatrixMarketSolvesSame(t *testing.T) {
+	// A matrix exported and re-imported must produce the same solve.
+	rng := rand.New(rand.NewSource(9))
+	a := randomSPD(25, rng)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCholesky(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, 25)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x1 := make([]float64, 25)
+	x2 := make([]float64, 25)
+	c1.Solve(x1, rhs)
+	c2.Solve(x2, rhs)
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("solve differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package sparse
+
+import "sort"
+
+// RCM computes the reverse Cuthill-McKee ordering of a symmetric
+// matrix's adjacency graph. The permutation concentrates nonzeros
+// near the diagonal (small bandwidth), which sharply reduces fill-in
+// in the sparse Cholesky factorization of mesh-like power-grid
+// matrices. perm[newIndex] = oldIndex.
+func RCM(a *CSR) []int {
+	n := a.Rows()
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColInd[p] != i {
+				deg[i]++
+			}
+		}
+	}
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	var queue []int
+
+	// Process every connected component, starting each from a
+	// minimum-degree node (a cheap peripheral-node heuristic).
+	for {
+		start := -1
+		for i := 0; i < n; i++ {
+			if !visited[i] && (start == -1 || deg[i] < deg[start]) {
+				start = i
+			}
+		}
+		if start == -1 {
+			break
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			var nbrs []int
+			for p := a.RowPtr[v]; p < a.RowPtr[v+1]; p++ {
+				j := a.ColInd[p]
+				if j != v && !visited[j] {
+					visited[j] = true
+					nbrs = append(nbrs, j)
+				}
+			}
+			sort.Slice(nbrs, func(x, y int) bool { return deg[nbrs[x]] < deg[nbrs[y]] })
+			queue = append(queue, nbrs...)
+		}
+	}
+	// Reverse for RCM.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Permute returns P·A·Pᵀ for the permutation perm (perm[new] = old).
+func Permute(a *CSR, perm []int) *CSR {
+	n := a.Rows()
+	inv := make([]int, n)
+	for newI, oldI := range perm {
+		inv[oldI] = newI
+	}
+	t := NewTriplet(n, a.Cols(), a.NNZ())
+	for i := 0; i < n; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			t.Add(inv[i], inv[a.ColInd[p]], a.Val[p])
+		}
+	}
+	return t.ToCSR()
+}
+
+// Bandwidth returns max |i − j| over stored entries.
+func Bandwidth(a *CSR) int {
+	bw := 0
+	for i := 0; i < a.Rows(); i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			d := i - a.ColInd[p]
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// OrderedCholesky factors A using the RCM permutation, storing the
+// ordering so Solve works in the original index space. It typically
+// produces a much sparser factor than natural-order NewCholesky.
+type OrderedCholesky struct {
+	chol *Cholesky
+	perm []int // perm[new] = old
+	inv  []int // inv[old] = new
+	work []float64
+}
+
+// NewOrderedCholesky builds the RCM-ordered factorization.
+func NewOrderedCholesky(a *CSR) (*OrderedCholesky, error) {
+	perm := RCM(a)
+	pa := Permute(a, perm)
+	chol, err := NewCholesky(pa)
+	if err != nil {
+		return nil, err
+	}
+	inv := make([]int, len(perm))
+	for newI, oldI := range perm {
+		inv[oldI] = newI
+	}
+	return &OrderedCholesky{chol: chol, perm: perm, inv: inv, work: make([]float64, len(perm))}, nil
+}
+
+// NNZ returns the number of stored entries of the factor.
+func (o *OrderedCholesky) NNZ() int { return o.chol.NNZ() }
+
+// Solve solves A·x = b in the original ordering.
+func (o *OrderedCholesky) Solve(x, b []float64) {
+	for newI, oldI := range o.perm {
+		o.work[newI] = b[oldI]
+	}
+	o.chol.Solve(o.work, o.work)
+	for newI, oldI := range o.perm {
+		x[oldI] = o.work[newI]
+	}
+}

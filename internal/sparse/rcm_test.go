@@ -1,0 +1,161 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRCMIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSPD(2+rng.Intn(40), rng)
+		perm := RCM(a)
+		if len(perm) != a.Rows() {
+			return false
+		}
+		seen := make([]bool, len(perm))
+		for _, p := range perm {
+			if p < 0 || p >= len(perm) || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A 2-D Laplacian indexed in shuffled order has terrible
+	// bandwidth; RCM must restore something close to the mesh width.
+	nx, ny := 12, 12
+	n := nx * ny
+	rng := rand.New(rand.NewSource(3))
+	shuffle := rng.Perm(n)
+	tr := NewTriplet(n, n, 5*n)
+	idx := func(x, y int) int { return shuffle[y*nx+x] }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := idx(x, y)
+			tr.Add(i, i, 4)
+			if x > 0 {
+				tr.Add(i, idx(x-1, y), -1)
+			}
+			if x < nx-1 {
+				tr.Add(i, idx(x+1, y), -1)
+			}
+			if y > 0 {
+				tr.Add(i, idx(x, y-1), -1)
+			}
+			if y < ny-1 {
+				tr.Add(i, idx(x, y+1), -1)
+			}
+		}
+	}
+	a := tr.ToCSR()
+	before := Bandwidth(a)
+	after := Bandwidth(Permute(a, RCM(a)))
+	if after >= before {
+		t.Fatalf("RCM did not reduce bandwidth: %d -> %d", before, after)
+	}
+	if after > 4*nx {
+		t.Errorf("RCM bandwidth %d far above mesh width %d", after, nx)
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomSPD(20, rng)
+	perm := RCM(a)
+	pa := Permute(a, perm)
+	// Invert: perm[new]=old, so inverse permutation has inv[old]=new;
+	// permuting pa by the inverse must restore a.
+	inv := make([]int, len(perm))
+	for newI, oldI := range perm {
+		inv[oldI] = newI
+	}
+	back := Permute(pa, inv)
+	if back.NNZ() != a.NNZ() {
+		t.Fatalf("NNZ changed: %d vs %d", back.NNZ(), a.NNZ())
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if back.At(i, a.ColInd[p]) != a.Val[p] {
+				t.Fatal("permutation round trip corrupted entries")
+			}
+		}
+	}
+}
+
+func TestOrderedCholeskyMatchesNatural(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSPD(3+rng.Intn(40), rng)
+		oc, err := NewOrderedCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, a.Rows())
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1 := make([]float64, a.Rows())
+		x2 := make([]float64, a.Rows())
+		oc.Solve(x1, b)
+		nc.Solve(x2, b)
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-8*(1+math.Abs(x2[i])) {
+				t.Fatalf("trial %d: ordered %v vs natural %v at %d", trial, x1[i], x2[i], i)
+			}
+		}
+	}
+}
+
+func TestOrderedCholeskyReducesFill(t *testing.T) {
+	// On a shuffled mesh the natural-order factor fills in heavily;
+	// RCM ordering must produce a sparser factor.
+	nx, ny := 14, 14
+	n := nx * ny
+	rng := rand.New(rand.NewSource(6))
+	shuffle := rng.Perm(n)
+	tr := NewTriplet(n, n, 5*n)
+	idx := func(x, y int) int { return shuffle[y*nx+x] }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := idx(x, y)
+			tr.Add(i, i, 4)
+			if x > 0 {
+				tr.Add(i, idx(x-1, y), -1)
+			}
+			if x < nx-1 {
+				tr.Add(i, idx(x+1, y), -1)
+			}
+			if y > 0 {
+				tr.Add(i, idx(x, y-1), -1)
+			}
+			if y < ny-1 {
+				tr.Add(i, idx(x, y+1), -1)
+			}
+		}
+	}
+	a := tr.ToCSR()
+	nat, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := NewOrderedCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ord.NNZ() >= nat.NNZ() {
+		t.Errorf("RCM factor nnz %d should beat natural %d on a shuffled mesh", ord.NNZ(), nat.NNZ())
+	}
+}

@@ -1,0 +1,72 @@
+package sparse
+
+// Smoothers: the classic stationary iterations used inside multigrid
+// cycles. Each smoother performs in-place sweeps improving x for the
+// system A·x = b.
+
+// JacobiSweeps performs k weighted-Jacobi sweeps with damping omega
+// (omega = 2/3 is the usual choice for Laplacian-like operators).
+// scratch must have length n or be nil (allocated internally).
+func JacobiSweeps(a *CSR, x, b []float64, omega float64, k int, scratch []float64) {
+	n := a.Rows()
+	if scratch == nil {
+		scratch = make([]float64, n)
+	}
+	d := a.Diag()
+	for s := 0; s < k; s++ {
+		a.MulVec(scratch, x)
+		for i := 0; i < n; i++ {
+			if d[i] != 0 {
+				x[i] += omega * (b[i] - scratch[i]) / d[i]
+			}
+		}
+	}
+}
+
+// GaussSeidelForward performs one forward Gauss-Seidel sweep.
+func GaussSeidelForward(a *CSR, x, b []float64) {
+	for i := 0; i < a.RowsN; i++ {
+		sum := b[i]
+		diag := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColInd[p]
+			if j == i {
+				diag = a.Val[p]
+			} else {
+				sum -= a.Val[p] * x[j]
+			}
+		}
+		if diag != 0 {
+			x[i] = sum / diag
+		}
+	}
+}
+
+// GaussSeidelBackward performs one backward Gauss-Seidel sweep.
+func GaussSeidelBackward(a *CSR, x, b []float64) {
+	for i := a.RowsN - 1; i >= 0; i-- {
+		sum := b[i]
+		diag := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColInd[p]
+			if j == i {
+				diag = a.Val[p]
+			} else {
+				sum -= a.Val[p] * x[j]
+			}
+		}
+		if diag != 0 {
+			x[i] = sum / diag
+		}
+	}
+}
+
+// SymmetricGaussSeidel performs k symmetric (forward then backward)
+// Gauss-Seidel sweeps. Symmetry of the sweep keeps the induced
+// preconditioner symmetric, which PCG requires.
+func SymmetricGaussSeidel(a *CSR, x, b []float64, k int) {
+	for s := 0; s < k; s++ {
+		GaussSeidelForward(a, x, b)
+		GaussSeidelBackward(a, x, b)
+	}
+}
