@@ -1,0 +1,40 @@
+# Single source of truth for the commands CI runs, so local dev and
+# .github/workflows/ci.yml can never drift.
+
+GO ?= go
+
+# The race job forces the worker pool wide open (4 workers, threshold
+# 1) so every parallel kernel path is exercised even on small CI
+# machines and miniature test grids.
+RACE_ENV = IRFUSION_WORKERS=4 IRFUSION_PAR_THRESHOLD=1
+
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke
+
+all: fmt-check vet build test
+
+fmt: ## rewrite sources with gofmt
+	gofmt -w .
+
+fmt-check: ## fail when any file is not gofmt-clean
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(RACE_ENV) $(GO) test -race ./...
+
+bench: ## full benchmark sweep
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+bench-smoke: ## compile-and-run guard for the hot kernel benchmarks
+	$(GO) test -bench='BenchmarkSolverSpMV|BenchmarkParallelSpMV' -benchtime=1x -run='^$$' .

@@ -21,8 +21,10 @@ import (
 	"irfusion/internal/features"
 	"irfusion/internal/models"
 	"irfusion/internal/nn"
+	"irfusion/internal/parallel"
 	"irfusion/internal/pgen"
 	"irfusion/internal/solver"
+	"irfusion/internal/sparse"
 	"irfusion/internal/spice"
 )
 
@@ -308,6 +310,93 @@ func BenchmarkEndToEndNumerical(b *testing.B) {
 
 func benchName(prefix string, k int) string {
 	return fmt.Sprintf("%s=%d", prefix, k)
+}
+
+// --- Parallel kernel scaling (serial vs worker-pool execution) --------
+// Each benchmark sweeps the shared pool across 1/2/4/8 workers; the
+// workers=1 row is the bitwise-exact serial baseline. Speedups track
+// physical cores — on a single-core runner the rows mainly expose
+// dispatch overhead. The threshold is forced to 1 so the parallel
+// path engages even on the miniature benchmark grid.
+
+// benchAtWorkers runs body once per worker count with the default
+// pool swapped accordingly.
+func benchAtWorkers(b *testing.B, body func(b *testing.B)) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			pool := parallel.New(w).SetMinWork(1)
+			prev := parallel.SetDefault(pool)
+			defer func() {
+				parallel.SetDefault(prev)
+				pool.Close()
+			}()
+			body(b)
+		})
+	}
+}
+
+func BenchmarkParallelSpMV(b *testing.B) {
+	f := benchFixtures(b)
+	benchAtWorkers(b, func(b *testing.B) {
+		x := make([]float64, f.sys.N())
+		y := make([]float64, f.sys.N())
+		rng := rand.New(rand.NewSource(1))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.sys.G.MulVec(y, x)
+		}
+	})
+}
+
+func BenchmarkParallelPCGRough(b *testing.B) {
+	f := benchFixtures(b)
+	benchAtWorkers(b, func(b *testing.B) {
+		pre := solver.NewSSOR(f.sys.G, 2)
+		x := make([]float64, f.sys.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range x {
+				x[j] = 0
+			}
+			if _, err := solver.PCG(f.sys.G, x, f.sys.I, pre, solver.RoughOptions(10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkParallelJacobiSmoother(b *testing.B) {
+	f := benchFixtures(b)
+	benchAtWorkers(b, func(b *testing.B) {
+		n := f.sys.N()
+		x := make([]float64, n)
+		scratch := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sparse.JacobiSweeps(f.sys.G, x, f.sys.I, 2.0/3.0, 4, scratch)
+		}
+	})
+}
+
+func BenchmarkParallelConvForward(b *testing.B) {
+	f := benchFixtures(b)
+	benchAtWorkers(b, func(b *testing.B) {
+		m, err := models.New("irfusion", models.Config{
+			InChannels: f.sample.Features.Channels(), Base: 8, Depth: 2, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.SetTraining(false)
+		x, _ := dataset.ToTensors([]*dataset.Sample{f.sample})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Forward(nil, x)
+		}
+	})
 }
 
 // --- Design-choice ablation benches (DESIGN.md §5) --------------------

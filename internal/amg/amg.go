@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"irfusion/internal/parallel"
 	"irfusion/internal/sparse"
 )
 
@@ -238,21 +239,24 @@ func (h *Hierarchy) Solve(x, b []float64, tol float64, maxCycles int) (int, floa
 		sparse.Zero(x)
 		return 0, 0
 	}
-	for k := 0; k < maxCycles; k++ {
+	pool := parallel.Default()
+	residual := func() {
 		h.Levels[0].A.MulVec(r, x)
-		for i := range r {
-			r[i] = b[i] - r[i]
-		}
+		pool.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r[i] = b[i] - r[i]
+			}
+		})
+	}
+	for k := 0; k < maxCycles; k++ {
+		residual()
 		rel := sparse.Norm2(r) / bn
 		if rel < tol {
 			return k, rel
 		}
 		h.Cycle(x, b)
 	}
-	h.Levels[0].A.MulVec(r, x)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
+	residual()
 	return maxCycles, sparse.Norm2(r) / bn
 }
 
@@ -272,9 +276,11 @@ func (h *Hierarchy) cycle(level int, x, b []float64) {
 	}
 	// Residual restriction: r_c = Pᵀ(b - A·x).
 	a.MulVec(lvl.r, x)
-	for i := range lvl.r {
-		lvl.r[i] = b[i] - lvl.r[i]
-	}
+	parallel.Default().For(len(lvl.r), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lvl.r[i] = b[i] - lvl.r[i]
+		}
+	})
 	restrict(lvl.P, lvl.krhs, lvl.r)
 
 	sparse.Zero(lvl.kx)
@@ -320,15 +326,20 @@ func (h *Hierarchy) kcycleSolve(level int, parent *Level) {
 		copy(x, c1)
 		return
 	}
+	pool := parallel.Default()
 	t := alpha1 / rho1
 	rhsNorm := sparse.Norm2(rhs)
-	for i := range r {
-		r[i] = rhs[i] - t*v1[i]
-	}
-	if sparse.Norm2(r) <= h.opts.KTolerance*rhsNorm {
-		for i := range x {
-			x[i] = t * c1[i]
+	pool.For(len(r), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = rhs[i] - t*v1[i]
 		}
+	})
+	if sparse.Norm2(r) <= h.opts.KTolerance*rhsNorm {
+		pool.For(len(x), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i] = t * c1[i]
+			}
+		})
 		return
 	}
 	// Second FCG step.
@@ -347,13 +358,18 @@ func (h *Hierarchy) kcycleSolve(level int, parent *Level) {
 	}
 	w1 := alpha1/rho1 - gamma*alpha2/(rho1*rho2)
 	w2 := alpha2 / rho2
-	for i := range x {
-		x[i] = w1*c1[i] + w2*c2[i]
-	}
+	pool.For(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = w1*c1[i] + w2*c2[i]
+		}
+	})
 }
 
 // restrict computes rc = Pᵀ·r without materializing Pᵀ: P is a 0/1
-// aggregation matrix with exactly one entry per row.
+// aggregation matrix with exactly one entry per row. The scatter into
+// rc races across fine rows of the same aggregate, so this stays
+// sequential (coarse vectors are small enough that it doesn't show in
+// profiles).
 func restrict(p *sparse.CSR, rc, r []float64) {
 	sparse.Zero(rc)
 	for i := 0; i < p.RowsN; i++ {
@@ -363,11 +379,14 @@ func restrict(p *sparse.CSR, rc, r []float64) {
 	}
 }
 
-// prolongAdd computes x += P·xc.
+// prolongAdd computes x += P·xc. Each fine row i writes only x[i], so
+// the loop is row-parallel.
 func prolongAdd(p *sparse.CSR, x, xc []float64) {
-	for i := 0; i < p.RowsN; i++ {
-		for q := p.RowPtr[i]; q < p.RowPtr[i+1]; q++ {
-			x[i] += p.Val[q] * xc[p.ColInd[q]]
+	parallel.Default().For(p.RowsN, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for q := p.RowPtr[i]; q < p.RowPtr[i+1]; q++ {
+				x[i] += p.Val[q] * xc[p.ColInd[q]]
+			}
 		}
-	}
+	})
 }

@@ -1,39 +1,13 @@
 package nn
 
-import (
-	"runtime"
-	"sync"
-)
+import "irfusion/internal/parallel"
 
-// parallelFor splits [0, n) across workers and runs fn(start, end) on
-// each chunk concurrently. Falls back to a direct call for small n.
+// parallelFor splits [0, n) across the shared worker pool and runs
+// fn(start, end) on each chunk concurrently. The indices here are
+// GEMM/im2col rows carrying substantial per-index work, so the serial
+// cutoff is far below the pool's vector-element default.
 func parallelFor(n int, fn func(start, end int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 64 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		if start >= end {
-			break
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
-	}
-	wg.Wait()
+	parallel.Default().ForMin(n, 64, fn)
 }
 
 // gemm computes C = A·B (+C when accumulate) for row-major dense

@@ -167,27 +167,29 @@ func MaxPool2x2(tp *Tape, x *Tensor) *Tensor {
 	}
 	out := result(tp, []int{n, c, oh, ow}, x)
 	argmax := make([]int32, out.Size())
-	for nc := 0; nc < n*c; nc++ {
-		inBase := nc * h * w
-		outBase := nc * oh * ow
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				i0 := inBase + (2*oy)*w + 2*ox
-				best, bi := x.Data[i0], i0
-				if v := x.Data[i0+1]; v > best {
-					best, bi = v, i0+1
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			inBase := nc * h * w
+			outBase := nc * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					i0 := inBase + (2*oy)*w + 2*ox
+					best, bi := x.Data[i0], i0
+					if v := x.Data[i0+1]; v > best {
+						best, bi = v, i0+1
+					}
+					if v := x.Data[i0+w]; v > best {
+						best, bi = v, i0+w
+					}
+					if v := x.Data[i0+w+1]; v > best {
+						best, bi = v, i0+w+1
+					}
+					out.Data[outBase+oy*ow+ox] = best
+					argmax[outBase+oy*ow+ox] = int32(bi)
 				}
-				if v := x.Data[i0+w]; v > best {
-					best, bi = v, i0+w
-				}
-				if v := x.Data[i0+w+1]; v > best {
-					best, bi = v, i0+w+1
-				}
-				out.Data[outBase+oy*ow+ox] = best
-				argmax[outBase+oy*ow+ox] = int32(bi)
 			}
 		}
-	}
+	})
 	if out.needsGrad {
 		tp.record(func() {
 			x.ensureGrad()
@@ -207,16 +209,18 @@ func AvgPool2x2(tp *Tape, x *Tensor) *Tensor {
 		panic("nn: AvgPool2x2 input too small")
 	}
 	out := result(tp, []int{n, c, oh, ow}, x)
-	for nc := 0; nc < n*c; nc++ {
-		inBase := nc * h * w
-		outBase := nc * oh * ow
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				i0 := inBase + (2*oy)*w + 2*ox
-				out.Data[outBase+oy*ow+ox] = 0.25 * (x.Data[i0] + x.Data[i0+1] + x.Data[i0+w] + x.Data[i0+w+1])
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			inBase := nc * h * w
+			outBase := nc * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					i0 := inBase + (2*oy)*w + 2*ox
+					out.Data[outBase+oy*ow+ox] = 0.25 * (x.Data[i0] + x.Data[i0+1] + x.Data[i0+w] + x.Data[i0+w+1])
+				}
 			}
 		}
-	}
+	})
 	if out.needsGrad {
 		tp.record(func() {
 			x.ensureGrad()
@@ -245,20 +249,22 @@ func Upsample2x(tp *Tape, x *Tensor) *Tensor {
 	n, c, h, w := x.Dims4()
 	oh, ow := 2*h, 2*w
 	out := result(tp, []int{n, c, oh, ow}, x)
-	for nc := 0; nc < n*c; nc++ {
-		inBase := nc * h * w
-		outBase := nc * oh * ow
-		for y := 0; y < h; y++ {
-			for xx := 0; xx < w; xx++ {
-				v := x.Data[inBase+y*w+xx]
-				d := outBase + (2*y)*ow + 2*xx
-				out.Data[d] = v
-				out.Data[d+1] = v
-				out.Data[d+ow] = v
-				out.Data[d+ow+1] = v
+	parallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			inBase := nc * h * w
+			outBase := nc * oh * ow
+			for y := 0; y < h; y++ {
+				for xx := 0; xx < w; xx++ {
+					v := x.Data[inBase+y*w+xx]
+					d := outBase + (2*y)*ow + 2*xx
+					out.Data[d] = v
+					out.Data[d+1] = v
+					out.Data[d+ow] = v
+					out.Data[d+ow+1] = v
+				}
 			}
 		}
-	}
+	})
 	if out.needsGrad {
 		tp.record(func() {
 			x.ensureGrad()

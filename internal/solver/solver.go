@@ -9,6 +9,7 @@ import (
 	"errors"
 	"math"
 
+	"irfusion/internal/parallel"
 	"irfusion/internal/sparse"
 )
 
@@ -44,9 +45,11 @@ func NewJacobi(a *sparse.CSR) *Jacobi {
 
 // Apply computes z = D⁻¹·r.
 func (j *Jacobi) Apply(z, r []float64) {
-	for i := range r {
-		z[i] = j.InvDiag[i] * r[i]
-	}
+	parallel.Default().For(len(r), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			z[i] = j.InvDiag[i] * r[i]
+		}
+	})
 }
 
 // Options controls a PCG run.
@@ -90,6 +93,12 @@ var ErrIndefinite = errors.New("solver: operator or preconditioner not positive 
 
 // PCG solves A·x = b with preconditioned conjugate gradients. x holds
 // the initial guess on entry and the solution on return.
+//
+// All vector kernels run on the shared worker pool. Inner products
+// use the pool's deterministic blocked reduction, so the residual
+// history is bitwise reproducible run-to-run and across parallel
+// worker counts; a single-worker pool reproduces the serial seed
+// results exactly.
 func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (Result, error) {
 	n := a.Rows()
 	if len(x) != n || len(b) != n {
@@ -118,10 +127,13 @@ func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (Result,
 		return Result{Converged: true}, nil
 	}
 
+	pool := parallel.Default()
 	a.MulVec(r, x)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
+	pool.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = b[i] - r[i]
+		}
+	})
 	res := Result{}
 	rel := sparse.Norm2(r) / bn
 	if opts.Record {
@@ -166,27 +178,31 @@ func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (Result,
 
 		m.Apply(z, r)
 		var rzNew float64
+		var beta float64
 		if opts.Flexible {
 			// Polak-Ribière: β = z·(r − r_prev) / (z_prev·r_prev).
-			num := 0.0
-			for i := range z {
-				num += z[i] * (r[i] - rPrev[i])
-			}
+			// Deterministic blocked reduction, same scheme as Dot.
+			num := pool.ReduceSum(n, func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += z[i] * (r[i] - rPrev[i])
+				}
+				return s
+			})
 			rzNew = sparse.Dot(r, z)
-			beta := num / rz
+			beta = num / rz
 			if beta < 0 {
 				beta = 0 // restart
 			}
-			for i := range p {
-				p[i] = z[i] + beta*p[i]
-			}
 		} else {
 			rzNew = sparse.Dot(r, z)
-			beta := rzNew / rz
-			for i := range p {
+			beta = rzNew / rz
+		}
+		pool.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
 				p[i] = z[i] + beta*p[i]
 			}
-		}
+		})
 		if rzNew <= 0 {
 			return res, ErrIndefinite
 		}
@@ -211,9 +227,11 @@ func RelResidual(a *sparse.CSR, x, b []float64) float64 {
 	n := a.Rows()
 	r := make([]float64, n)
 	a.MulVec(r, x)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
+	parallel.Default().For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = b[i] - r[i]
+		}
+	})
 	bn := sparse.Norm2(b)
 	if bn == 0 {
 		return sparse.Norm2(r)

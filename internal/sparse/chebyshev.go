@@ -1,6 +1,10 @@
 package sparse
 
-import "math"
+import (
+	"math"
+
+	"irfusion/internal/parallel"
+)
 
 // Chebyshev is a polynomial smoother for SPD systems: k steps of the
 // classical Chebyshev iteration on the Jacobi-preconditioned operator
@@ -63,33 +67,40 @@ func (c *Chebyshev) Smooth(x, b []float64) {
 	theta := (lmax + lmin) / 2
 	delta := (lmax - lmin) / 2
 
+	pool := parallel.Default()
 	r := make([]float64, n)
 	d := make([]float64, n)
 	c.a.MulVec(r, x)
-	for i := range r {
-		r[i] = (b[i] - r[i]) * c.invDiag[i]
-	}
+	pool.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = (b[i] - r[i]) * c.invDiag[i]
+		}
+	})
 	sigma := theta / delta
 	rho := 1 / sigma
-	for i := range d {
-		d[i] = r[i] / theta
-	}
+	pool.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = r[i] / theta
+		}
+	})
 	tmp := make([]float64, n)
 	for k := 0; k < c.Degree; k++ {
-		for i := range x {
-			x[i] += d[i]
-		}
+		pool.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i] += d[i]
+			}
+		})
 		if k == c.Degree-1 {
 			break
 		}
 		c.a.MulVec(tmp, d)
-		for i := range r {
-			r[i] -= tmp[i] * c.invDiag[i]
-		}
 		rhoNew := 1 / (2*sigma - rho)
-		for i := range d {
-			d[i] = rhoNew * (rho*d[i] + 2*r[i]/delta)
-		}
+		pool.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r[i] -= tmp[i] * c.invDiag[i]
+				d[i] = rhoNew * (rho*d[i] + 2*r[i]/delta)
+			}
+		})
 		rho = rhoNew
 	}
 }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"irfusion/internal/parallel"
 )
 
 // Triplet accumulates matrix entries in coordinate form. Duplicate
@@ -139,28 +141,96 @@ func (m *CSR) At(i, j int) float64 {
 
 // MulVec computes y = A·x. y must have length Rows and x length Cols;
 // y is fully overwritten.
+//
+// y and x must not alias: rows of y are written concurrently by the
+// shared worker pool while every worker reads all of x, so overlap
+// would be a data race even in exact arithmetic. Passing the same
+// slice for both panics; partially overlapping sub-slices are the
+// caller's responsibility and yield undefined results.
 func (m *CSR) MulVec(y, x []float64) {
 	if len(x) != m.ColsN || len(y) != m.RowsN {
 		panic("sparse: MulVec dimension mismatch")
 	}
-	for i := 0; i < m.RowsN; i++ {
-		sum := 0.0
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			sum += m.Val[p] * x[m.ColInd[p]]
-		}
-		y[i] = sum
+	checkNoAlias("MulVec", y, x)
+	m.spmv(y, x, false)
+}
+
+// MulVecAdd computes y += A·x. The aliasing contract of MulVec
+// applies: y and x must not overlap.
+func (m *CSR) MulVecAdd(y, x []float64) {
+	if len(x) != m.ColsN || len(y) != m.RowsN {
+		panic("sparse: MulVecAdd dimension mismatch")
+	}
+	checkNoAlias("MulVecAdd", y, x)
+	m.spmv(y, x, true)
+}
+
+// checkNoAlias panics when y and x share a backing array start — the
+// common aliasing mistake (passing the same slice twice). Overlap at
+// different offsets cannot be detected without unsafe and is instead
+// excluded by the documented contract.
+func checkNoAlias(op string, y, x []float64) {
+	if len(y) > 0 && len(x) > 0 && &y[0] == &x[0] {
+		panic("sparse: " + op + ": y and x must not alias")
 	}
 }
 
-// MulVecAdd computes y += A·x.
-func (m *CSR) MulVecAdd(y, x []float64) {
-	for i := 0; i < m.RowsN; i++ {
+// spmv is the shared SpMV kernel. Rows are partitioned by nnz (not by
+// row count) across the worker pool, so a few dense rows cannot
+// serialize the sweep. Each y[i] is accumulated by exactly one worker
+// in column order, making the result bitwise identical at every
+// worker count, including the serial fallback.
+func (m *CSR) spmv(y, x []float64, add bool) {
+	pool := parallel.Default()
+	if pool.Workers() <= 1 || m.NNZ() < pool.MinWork() {
+		m.spmvRange(y, x, 0, m.RowsN, add)
+		return
+	}
+	bounds := m.rowPartition(pool.Workers() * 4)
+	pool.Do(len(bounds)-1, func(part int) {
+		m.spmvRange(y, x, bounds[part], bounds[part+1], add)
+	})
+}
+
+func (m *CSR) spmvRange(y, x []float64, lo, hi int, add bool) {
+	for i := lo; i < hi; i++ {
 		sum := 0.0
 		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
 			sum += m.Val[p] * x[m.ColInd[p]]
 		}
-		y[i] += sum
+		if add {
+			y[i] += sum
+		} else {
+			y[i] = sum
+		}
 	}
+}
+
+// rowPartition splits the row range into at most parts contiguous
+// pieces of roughly equal nnz, using binary search over the RowPtr
+// prefix sums. The returned boundaries b satisfy b[0] = 0,
+// b[len(b)-1] = Rows, and are strictly increasing.
+func (m *CSR) rowPartition(parts int) []int {
+	n := m.RowsN
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	nnz := m.NNZ()
+	b := make([]int, 1, parts+1)
+	for t := 1; t < parts; t++ {
+		target := int(int64(nnz) * int64(t) / int64(parts))
+		r := sort.SearchInts(m.RowPtr, target)
+		if r >= n {
+			break
+		}
+		if r > b[len(b)-1] {
+			b = append(b, r)
+		}
+	}
+	return append(b, n)
 }
 
 // Diag extracts the diagonal into a new slice (zero where absent).
@@ -309,16 +379,22 @@ func TripleProduct(p *CSR, a *CSR) *CSR {
 	return pt.Mul(a.Mul(p))
 }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors. Above
+// the pool threshold it uses the deterministic blocked reduction of
+// the worker pool: the summation order depends only on the vector
+// length, so results are bitwise reproducible across runs and across
+// parallel worker counts (see parallel.Pool.ReduceSum).
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("sparse: Dot length mismatch")
 	}
-	s := 0.0
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
+	return parallel.Default().ReduceSum(len(a), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	})
 }
 
 // Norm2 returns the Euclidean norm of v.
@@ -326,11 +402,14 @@ func Norm2(v []float64) float64 {
 	return math.Sqrt(Dot(v, v))
 }
 
-// Axpy computes y += alpha·x.
+// Axpy computes y += alpha·x. Elementwise, so parallel execution is
+// bitwise identical to serial at every worker count.
 func Axpy(alpha float64, x, y []float64) {
-	for i := range x {
-		y[i] += alpha * x[i]
-	}
+	parallel.Default().For(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
 }
 
 // Copy copies src into dst (lengths must match).

@@ -3,23 +3,34 @@ package sparse
 // Smoothers: the classic stationary iterations used inside multigrid
 // cycles. Each smoother performs in-place sweeps improving x for the
 // system A·x = b.
+//
+// Jacobi and Chebyshev have no sequential dependency between rows and
+// run on the shared worker pool; the Gauss-Seidel sweeps are
+// sequential by construction and stay single-threaded.
+
+import "irfusion/internal/parallel"
 
 // JacobiSweeps performs k weighted-Jacobi sweeps with damping omega
 // (omega = 2/3 is the usual choice for Laplacian-like operators).
-// scratch must have length n or be nil (allocated internally).
+// scratch must have length n or be nil (allocated internally). The
+// residual product and the update are both row-parallel and bitwise
+// identical at every worker count.
 func JacobiSweeps(a *CSR, x, b []float64, omega float64, k int, scratch []float64) {
 	n := a.Rows()
 	if scratch == nil {
 		scratch = make([]float64, n)
 	}
 	d := a.Diag()
+	pool := parallel.Default()
 	for s := 0; s < k; s++ {
 		a.MulVec(scratch, x)
-		for i := 0; i < n; i++ {
-			if d[i] != 0 {
-				x[i] += omega * (b[i] - scratch[i]) / d[i]
+		pool.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d[i] != 0 {
+					x[i] += omega * (b[i] - scratch[i]) / d[i]
+				}
 			}
-		}
+		})
 	}
 }
 
