@@ -8,7 +8,7 @@ GO ?= go
 # machines and miniature test grids.
 RACE_ENV = IRFUSION_WORKERS=4 IRFUSION_PAR_THRESHOLD=1
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke manifest-smoke
 
 all: fmt-check vet build test
 
@@ -38,3 +38,9 @@ bench: ## full benchmark sweep
 
 bench-smoke: ## compile-and-run guard for the hot kernel benchmarks
 	$(GO) test -bench='BenchmarkSolverSpMV|BenchmarkParallelSpMV' -benchtime=1x -run='^$$' .
+
+MANIFEST_OUT ?= /tmp/irfusion-manifest.json
+
+manifest-smoke: ## end-to-end analyze run; fails when the run manifest is missing required signals
+	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -manifest $(MANIFEST_OUT)
+	$(GO) run ./cmd/manifestcheck $(MANIFEST_OUT)

@@ -21,6 +21,7 @@ import (
 	"irfusion/internal/features"
 	"irfusion/internal/models"
 	"irfusion/internal/nn"
+	"irfusion/internal/obs"
 	"irfusion/internal/parallel"
 	"irfusion/internal/pgen"
 	"irfusion/internal/solver"
@@ -320,8 +321,19 @@ func benchName(prefix string, k int) string {
 // path engages even on the miniature benchmark grid.
 
 // benchAtWorkers runs body once per worker count with the default
-// pool swapped accordingly.
+// pool swapped accordingly. Each row also reports the pool
+// utilization observed through the obs dispatch counters:
+//
+//	pool-util       fraction of kernel dispatches that ran on the pool
+//	par-kernels/op  parallel kernel dispatches per benchmark iteration
+//
+// The workers=1 rows report pool-util 0 by construction (the
+// single-worker pool is the serial baseline).
 func benchAtWorkers(b *testing.B, body func(b *testing.B)) {
+	dispatchCounters := []string{
+		"parallel.for.parallel", "parallel.for.serial",
+		"parallel.do.parallel", "parallel.do.serial",
+	}
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(benchName("workers", w), func(b *testing.B) {
 			pool := parallel.New(w).SetMinWork(1)
@@ -330,7 +342,19 @@ func benchAtWorkers(b *testing.B, body func(b *testing.B)) {
 				parallel.SetDefault(prev)
 				pool.Close()
 			}()
+			before := make(map[string]int64, len(dispatchCounters))
+			for _, name := range dispatchCounters {
+				before[name] = obs.CounterValue(name)
+			}
 			body(b)
+			par := (obs.CounterValue("parallel.for.parallel") - before["parallel.for.parallel"]) +
+				(obs.CounterValue("parallel.do.parallel") - before["parallel.do.parallel"])
+			ser := (obs.CounterValue("parallel.for.serial") - before["parallel.for.serial"]) +
+				(obs.CounterValue("parallel.do.serial") - before["parallel.do.serial"])
+			if total := par + ser; total > 0 {
+				b.ReportMetric(float64(par)/float64(total), "pool-util")
+				b.ReportMetric(float64(par)/float64(b.N), "par-kernels/op")
+			}
 		})
 	}
 }

@@ -18,19 +18,24 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"irfusion/internal/obs"
+	"irfusion/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		exp   = flag.String("exp", "all", "experiments: comma list of table1|fig6|fig7|fig8, or all")
-		mode  = flag.String("mode", "quick", "scale: quick|full")
-		out   = flag.String("out", "out", "output directory for CSV/PGM artifacts")
-		seed  = flag.Int64("seed", 1, "master seed")
-		fake  = flag.Int("fake", 0, "override: number of fake (training) designs")
-		realN = flag.Int("real", 0, "override: number of real designs (split train/test)")
-		res   = flag.Int("res", 0, "override: raster resolution")
-		epoch = flag.Int("epochs", 0, "override: training epochs")
+		exp      = flag.String("exp", "all", "experiments: comma list of table1|fig6|fig7|fig8, or all")
+		mode     = flag.String("mode", "quick", "scale: quick|full")
+		out      = flag.String("out", "out", "output directory for CSV/PGM artifacts")
+		seed     = flag.Int64("seed", 1, "master seed")
+		fake     = flag.Int("fake", 0, "override: number of fake (training) designs")
+		realN    = flag.Int("real", 0, "override: number of real designs (split train/test)")
+		res      = flag.Int("res", 0, "override: raster resolution")
+		epoch    = flag.Int("epochs", 0, "override: training epochs")
+		manifest = flag.String("manifest", "", "write a JSON run manifest to this file")
+		debug    = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -53,6 +58,20 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
+
+	rec := obs.NewRecorder()
+	pool := parallel.Default()
+	rec.SetGauge("pool.workers", float64(pool.Workers()))
+	rec.SetGauge("pool.min_work", float64(pool.MinWork()))
+	obs.SetActive(rec)
+	if *debug != "" {
+		if _, addr, err := obs.ServeDebug(*debug); err != nil {
+			log.Printf("debug server: %v", err)
+		} else {
+			log.Printf("debug server at http://%s/debug/vars and /debug/pprof/", addr)
+		}
+	}
+
 	env, err := prepare(sc)
 	if err != nil {
 		log.Fatal(err)
@@ -84,6 +103,15 @@ func main() {
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}
+	}
+	obs.SetActive(nil)
+	m := rec.Manifest("experiments", sc)
+	fmt.Fprint(os.Stderr, m.Summary())
+	if *manifest != "" {
+		if err := obs.FileSink(*manifest).Write(m); err != nil {
+			log.Fatalf("manifest: %v", err)
+		}
+		log.Printf("wrote %s", *manifest)
 	}
 	log.Printf("artifacts written to %s", mustAbs(*out))
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"irfusion/internal/core"
+	"irfusion/internal/grid"
+	"irfusion/internal/pgen"
+	"irfusion/internal/spice"
+)
+
+// cmdAnalyze runs one end-to-end IR-drop analysis with full
+// observability: every stage, solve, and kernel dispatch of the run is
+// recorded and can be exported as a JSON manifest (-manifest) or
+// inspected live (-debug-addr).
+//
+// Without -spice it generates a synthetic design first, so
+// `irfusion analyze -manifest out.json` works standalone. Without
+// -model-file it runs the pure numerical analyzer (converged AMG-PCG
+// by default, a budgeted rough solve with -iters); with -model-file it
+// runs the fused numerical+ML pipeline.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	deck := fs.String("spice", "", "input SPICE file (default: generate a synthetic design)")
+	class := fs.String("class", "real", "generated design class: fake|real")
+	size := fs.Int("size", 64, "generated die size in um (square)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	iters := fs.Int("iters", 0, "PCG iteration budget (0 = converge)")
+	precond := fs.String("precond", "amg", "preconditioner for budgeted solves: amg|ssor")
+	modelFile := fs.String("model-file", "", "trained checkpoint: run the fused numerical+ML pipeline")
+	pgm := fs.String("pgm", "", "write the drop map as PGM")
+	resFlag := fs.Int("res", 0, "raster resolution (default: die size or model resolution)")
+	of := addObsFlags(fs)
+	fs.Parse(args)
+
+	// Resolve the design: parse a deck or generate one.
+	var d *pgen.Design
+	if *deck != "" {
+		f, err := os.Open(*deck)
+		if err != nil {
+			return err
+		}
+		nl, err := spice.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		d = &pgen.Design{Name: *deck, W: *size, H: *size, VDD: padVoltage(nl), Netlist: nl}
+	} else {
+		c := pgen.Fake
+		if *class == "real" {
+			c = pgen.Real
+		}
+		var err error
+		d, err = pgen.Generate(pgen.DefaultConfig("analyze", c, *size, *size, *seed))
+		if err != nil {
+			return err
+		}
+		log.Printf("generated %s design %q (%dx%d, seed %d)", *class, d.Name, *size, *size, *seed)
+	}
+
+	res := *resFlag
+	if res == 0 {
+		res = *size
+	}
+
+	finish := of.start("analyze", map[string]any{
+		"spice":      *deck,
+		"class":      *class,
+		"size":       *size,
+		"seed":       *seed,
+		"iters":      *iters,
+		"precond":    *precond,
+		"model_file": *modelFile,
+		"resolution": res,
+	})
+
+	var (
+		m   *grid.Map
+		rt  time.Duration
+		err error
+	)
+	if *modelFile != "" {
+		mf, err2 := os.Open(*modelFile)
+		if err2 != nil {
+			return err2
+		}
+		analyzer, err2 := core.LoadAnalyzer(mf)
+		mf.Close()
+		if err2 != nil {
+			return err2
+		}
+		if *resFlag == 0 {
+			res = analyzer.Config.Resolution
+		}
+		analyzer.Config.RoughIters = max(1, *iters)
+		m, rt, err = analyzer.Analyze(d)
+		if err != nil {
+			return err
+		}
+		log.Printf("fused pipeline: worst-case IR drop %.4g V (%.3fs)", m.Max(), rt.Seconds())
+	} else {
+		na := &core.NumericalAnalyzer{Iters: *iters, Resolution: res, Precond: *precond}
+		var resid float64
+		m, rt, resid, err = na.Analyze(d)
+		if err != nil {
+			return err
+		}
+		log.Printf("numerical: worst-case IR drop %.4g V, relative residual %.3g (%.3fs)",
+			m.Max(), resid, rt.Seconds())
+	}
+
+	if *pgm != "" {
+		if err := os.WriteFile(*pgm, []byte(m.PGM()), 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s (%dx%d)", *pgm, m.W, m.H)
+	}
+	return finish()
+}

@@ -3,14 +3,22 @@
 //
 //	irfusion gen      -out design.sp [-class real] [-size 64] [-seed 1] [-config cfg.json]
 //	irfusion solve    -spice design.sp [-iters 0] [-tol 1e-10] [-pgm drop.pgm]
+//	irfusion analyze  [-spice design.sp] [-iters 0] [-model-file model.bin] [-manifest run.json]
 //	irfusion transient -spice design.sp [-h 1e-12] [-steps 100] [-burst 20]
 //	irfusion train    -model irfusion [-fake 8 -real 4 -epochs 10] -out model.bin
 //	irfusion predict  -spice design.sp -model-file model.bin [-pgm pred.pgm]
 //	irfusion models
 //
 // "solve" is the pure numerical flow (SPICE → MNA → AMG-PCG);
-// "transient" integrates dynamic IR drop over C cards; "predict" runs
-// the fused pipeline with a trained model.
+// "analyze" is the instrumented end-to-end run (numerical or fused)
+// that can emit a JSON run manifest; "transient" integrates dynamic IR
+// drop over C cards; "predict" runs the fused pipeline with a trained
+// model.
+//
+// solve, analyze, train, and predict accept -manifest FILE to write a
+// structured run manifest (stage timings, convergence traces, pool
+// utilization) and -debug-addr ADDR to serve live expvar counters and
+// pprof profiles during the run.
 package main
 
 import (
@@ -42,6 +50,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "solve":
 		err = cmdSolve(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
 	case "train":
 		err = cmdTrain(os.Args[2:])
 	case "predict":
@@ -69,10 +79,13 @@ func usage() {
 commands:
   gen      generate a synthetic power-grid SPICE deck
   solve    numerical IR-drop analysis (AMG-PCG)
+  analyze  instrumented end-to-end analysis; -manifest writes a JSON run manifest
   transient dynamic IR-drop analysis (backward Euler over C cards)
   train    train a fusion model on generated designs
   predict  fused numerical+ML IR-drop prediction
-  models   list registered model architectures`)
+  models   list registered model architectures
+
+solve, analyze, train, and predict also take -manifest FILE and -debug-addr ADDR.`)
 }
 
 func cmdGen(args []string) error {
@@ -139,10 +152,14 @@ func cmdSolve(args []string) error {
 	tol := fs.Float64("tol", 1e-10, "relative residual tolerance")
 	pgm := fs.String("pgm", "", "write the bottom-layer drop map as PGM")
 	res := fs.Int("res", 0, "raster resolution (default: die size)")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if *deck == "" {
 		return fmt.Errorf("solve: -spice is required")
 	}
+	finish := of.start("solve", map[string]any{
+		"spice": *deck, "iters": *iters, "tol": *tol,
+	})
 
 	f, err := os.Open(*deck)
 	if err != nil {
@@ -172,9 +189,10 @@ func cmdSolve(args []string) error {
 	log.Printf("AMG setup: %d levels, operator complexity %.2f (%.1f ms)",
 		h.NumLevels(), h.OperatorComplexity(), float64(time.Since(start).Microseconds())/1000)
 
-	opts := solver.Options{Tol: *tol, MaxIter: 1000, Flexible: true, Record: true}
+	opts := solver.Options{Tol: *tol, MaxIter: 1000, Flexible: true, Record: true, Label: "solve"}
 	if *iters > 0 {
 		opts = solver.RoughOptions(*iters)
+		opts.Label = "solve"
 	}
 	x := make([]float64, sys.N())
 	t0 := time.Now()
@@ -205,7 +223,7 @@ func cmdSolve(args []string) error {
 		}
 		log.Printf("wrote %s (%dx%d)", *pgm, r, r)
 	}
-	return nil
+	return finish()
 }
 
 // dieSize infers a raster size from node coordinates.
@@ -234,6 +252,7 @@ func cmdTrain(args []string) error {
 	size := fs.Int("size", 64, "die size / raster resolution")
 	epochs := fs.Int("epochs", 10, "training epochs")
 	seed := fs.Int64("seed", 1, "seed")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 
 	cfg := core.Default(*size)
@@ -244,6 +263,7 @@ func cmdTrain(args []string) error {
 		cfg.UseNumerical = false
 		cfg.Hierarchical = false
 	}
+	finish := of.start("train", cfg)
 	log.Printf("generating %d fake + %d real designs at %dx%d...", *nFake, *nReal, *size, *size)
 	train, err := dataset.GenerateSet(*nFake, *nReal, *size, *seed, cfg.DatasetOptions())
 	if err != nil {
@@ -266,7 +286,7 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	log.Printf("wrote %s", *out)
-	return nil
+	return finish()
 }
 
 func cmdPredict(args []string) error {
@@ -274,10 +294,14 @@ func cmdPredict(args []string) error {
 	deck := fs.String("spice", "", "input SPICE file (required)")
 	modelFile := fs.String("model-file", "", "trained checkpoint from 'irfusion train' (required)")
 	pgm := fs.String("pgm", "", "write the predicted drop map as PGM")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if *deck == "" || *modelFile == "" {
 		return fmt.Errorf("predict: -spice and -model-file are required")
 	}
+	finish := of.start("predict", map[string]any{
+		"spice": *deck, "model_file": *modelFile,
+	})
 
 	mf, err := os.Open(*modelFile)
 	if err != nil {
@@ -312,7 +336,7 @@ func cmdPredict(args []string) error {
 		}
 		log.Printf("wrote %s", *pgm)
 	}
-	return nil
+	return finish()
 }
 
 func padVoltage(nl *spice.Netlist) float64 {

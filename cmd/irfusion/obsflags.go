@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"irfusion/internal/obs"
+	"irfusion/internal/parallel"
+)
+
+// obsFlags carries the observability flags shared by every analysis
+// subcommand: -manifest writes the structured JSON run manifest,
+// -debug-addr serves live expvar counters and pprof profiles for the
+// duration of the run.
+type obsFlags struct {
+	manifest  *string
+	debugAddr *string
+}
+
+// addObsFlags registers -manifest and -debug-addr on a subcommand's
+// flag set.
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		manifest:  fs.String("manifest", "", "write a JSON run manifest to this file"),
+		debugAddr: fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)"),
+	}
+}
+
+// start activates a run recorder (and the debug server when
+// requested) and returns a finish function that deactivates it,
+// prints the end-of-run summary table to stderr, and writes the
+// manifest when -manifest was given. config is embedded verbatim in
+// the manifest's "config" field.
+func (o *obsFlags) start(kind string, config any) func() error {
+	rec := obs.NewRecorder()
+	pool := parallel.Default()
+	rec.SetGauge("pool.workers", float64(pool.Workers()))
+	rec.SetGauge("pool.min_work", float64(pool.MinWork()))
+	prev := obs.SetActive(rec)
+	var srv *http.Server
+	if *o.debugAddr != "" {
+		s, addr, err := obs.ServeDebug(*o.debugAddr)
+		if err != nil {
+			log.Printf("debug server: %v", err)
+		} else {
+			srv = s
+			log.Printf("debug server at http://%s/debug/vars and /debug/pprof/", addr)
+		}
+	}
+	return func() error {
+		obs.SetActive(prev)
+		if srv != nil {
+			defer srv.Close()
+		}
+		m := rec.Manifest(kind, config)
+		fmt.Fprint(os.Stderr, m.Summary())
+		if *o.manifest != "" {
+			if err := obs.FileSink(*o.manifest).Write(m); err != nil {
+				return fmt.Errorf("manifest: %w", err)
+			}
+			log.Printf("wrote %s", *o.manifest)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,67 @@
+// Command manifestcheck validates an irfusion run manifest: it loads
+// the JSON file, checks it against the manifest schema
+// (obs.Manifest.Validate), and enforces the invariants the CI smoke
+// test relies on — at least one solve with a positive iteration count
+// and a non-empty residual history, and at least one worker-pool
+// dispatch counter. Exit status is non-zero on any violation, making
+// it usable as a CI gate:
+//
+//	irfusion analyze -size 48 -manifest run.json
+//	manifestcheck run.json
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"irfusion/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck <manifest.json>")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		log.Fatalf("manifestcheck: %s: %v", os.Args[1], err)
+	}
+	log.Printf("%s: ok", os.Args[1])
+}
+
+func check(path string) error {
+	m, err := obs.ReadManifestFile(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+
+	// The pipeline must have reported at least one real solve with a
+	// recorded convergence trace.
+	solved := false
+	for _, s := range m.Solves {
+		if s.Iterations > 0 && len(s.History) > 0 {
+			solved = true
+			break
+		}
+	}
+	if !solved {
+		return fmt.Errorf("no solve with iterations > 0 and a non-empty residual history (%d solves present)", len(m.Solves))
+	}
+
+	// Worker-pool instrumentation must have observed kernel dispatches.
+	dispatches := int64(0)
+	for name, v := range m.Counters {
+		if strings.HasPrefix(name, "parallel.") {
+			dispatches += v
+		}
+	}
+	if dispatches <= 0 {
+		return fmt.Errorf("no parallel.* dispatch counters recorded")
+	}
+	return nil
+}

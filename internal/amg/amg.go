@@ -14,7 +14,9 @@ package amg
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"irfusion/internal/obs"
 	"irfusion/internal/parallel"
 	"irfusion/internal/sparse"
 )
@@ -132,6 +134,8 @@ var ErrEmptyMatrix = errors.New("amg: empty matrix")
 // Galerkin coarse-operator construction, stopping at MaxCoarse where
 // a dense Cholesky factorization is prepared.
 func Build(a *sparse.CSR, opts Options) (*Hierarchy, error) {
+	st := obs.Active().StartStage("amg.setup")
+	defer st.End()
 	if a.Rows() == 0 {
 		return nil, ErrEmptyMatrix
 	}
@@ -197,6 +201,14 @@ func Build(a *sparse.CSR, opts Options) (*Hierarchy, error) {
 			lvl.kx = make([]float64, nc)
 		}
 	}
+	if rec := obs.Active(); rec != nil {
+		rec.SetGauge("amg.levels", float64(len(h.Levels)))
+		rec.SetGauge("amg.operator_complexity", h.OperatorComplexity())
+		for i, lvl := range h.Levels {
+			rec.SetGauge(fmt.Sprintf("amg.level%d.rows", i), float64(lvl.A.Rows()))
+			rec.SetGauge(fmt.Sprintf("amg.level%d.nnz", i), float64(lvl.A.NNZ()))
+		}
+	}
 	return h, nil
 }
 
@@ -221,8 +233,15 @@ func (h *Hierarchy) Cycle(x, b []float64) {
 
 // Apply uses one cycle from a zero initial guess as the
 // preconditioner application z = M⁻¹·r. It satisfies the
-// solver.Preconditioner contract.
+// solver.Preconditioner contract. When a run recorder is active, each
+// application accumulates into the "amg.cycle" timing (gauge
+// amg.cycle.seconds / counter amg.cycle.count), separating cycle time
+// from the setup time reported by the "amg.setup" stage.
 func (h *Hierarchy) Apply(z, r []float64) {
+	if rec := obs.Active(); rec != nil {
+		start := time.Now()
+		defer func() { rec.AddSeconds("amg.cycle", time.Since(start)) }()
+	}
 	sparse.Zero(z)
 	h.cycle(0, z, r)
 }

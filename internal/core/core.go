@@ -21,6 +21,7 @@ import (
 	"irfusion/internal/metrics"
 	"irfusion/internal/models"
 	"irfusion/internal/nn"
+	"irfusion/internal/obs"
 	"irfusion/internal/pgen"
 	"irfusion/internal/solver"
 )
@@ -137,6 +138,8 @@ type Analyzer struct {
 // predicted IR-drop map in volts (clamped non-negative). In residual
 // mode the model output corrects the rasterized rough solution.
 func (a *Analyzer) Predict(s *dataset.Sample) *grid.Map {
+	st := obs.Active().StartStage("ml.inference")
+	defer st.End()
 	x, _ := dataset.ToTensors([]*dataset.Sample{s})
 	a.Norm.Apply(x)
 	a.Model.SetTraining(false)
@@ -400,7 +403,9 @@ func Train(cfg Config, train []*dataset.Sample) (*TrainResult, error) {
 		return total / float64(len(validation))
 	}
 
+	rec := obs.Active()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		opt.LR = schedule.Rate(epoch, cfg.Epochs)
 		subset := working
 		if cfg.UseCurriculum {
@@ -449,14 +454,27 @@ func Train(cfg Config, train []*dataset.Sample) (*TrainResult, error) {
 		if batches > 0 {
 			res.EpochLoss = append(res.EpochLoss, epochLoss/float64(batches))
 		}
+		var epochVal *float64
 		if len(validation) > 0 {
 			vl := valLoss()
 			res.ValLoss = append(res.ValLoss, vl)
+			epochVal = &vl
 			if len(res.ValLoss) == 1 || vl < bestVal {
 				bestVal = vl
 				res.BestEpoch = epoch
 				snapshotBest()
 			}
+		}
+		if rec != nil && batches > 0 {
+			rec.RecordEpoch(obs.EpochRecord{
+				Epoch:   epoch,
+				Loss:    epochLoss / float64(batches),
+				ValLoss: epochVal,
+				LR:      opt.LR,
+				Samples: len(subset),
+				Batches: batches,
+				Seconds: time.Since(epochStart).Seconds(),
+			})
 		}
 	}
 	if n := len(res.EpochLoss); n > 0 {
@@ -519,7 +537,9 @@ type NumericalAnalyzer struct {
 // Analyze solves the design and rasterizes the bottom-layer drops,
 // returning the map, runtime, and the relative residual reached.
 func (n *NumericalAnalyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, float64, error) {
+	rec := obs.Active()
 	start := time.Now()
+	st := rec.StartStage("numerical.assemble")
 	nw, err := circuit.FromNetlist(d.Netlist)
 	if err != nil {
 		return nil, 0, 0, err
@@ -528,15 +548,19 @@ func (n *NumericalAnalyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, f
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	st.End()
 	x := make([]float64, sys.N())
 	opts := solver.DefaultOptions()
+	opts.Label = "numerical"
 	var pre solver.Preconditioner
 	if n.Iters > 0 && n.Precond != "amg" {
 		opts = solver.RoughOptions(n.Iters)
+		opts.Label = "numerical"
 		pre = solver.NewSSOR(sys.G, 2)
 	} else {
 		if n.Iters > 0 {
 			opts = solver.RoughOptions(n.Iters)
+			opts.Label = "numerical"
 		}
 		h, err := amg.Build(sys.G, amg.DefaultOptions())
 		if err != nil {
@@ -544,11 +568,15 @@ func (n *NumericalAnalyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, f
 		}
 		pre = h
 	}
+	st = rec.StartStage("numerical.solve")
 	res, err := solver.PCG(sys.G, x, sys.I, pre, opts)
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	st.End()
+	st = rec.StartStage("numerical.rasterize")
 	m := features.GoldenMap(nw, sys.FullDrops(x), n.Resolution, n.Resolution)
+	st.End()
 	return m, time.Since(start), res.Residual, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"irfusion/internal/dataset"
 	"irfusion/internal/metrics"
 	"irfusion/internal/nn"
+	"irfusion/internal/obs"
 	"irfusion/internal/pgen"
 )
 
@@ -430,5 +431,95 @@ func TestValidationWithoutFractionDisabled(t *testing.T) {
 	}
 	if res.BestEpoch != cfg.Epochs-1 {
 		t.Errorf("BestEpoch = %d, want final epoch", res.BestEpoch)
+	}
+}
+
+// TestAnalyzerRunEmitsManifest drives the full pipeline (train, then
+// analyze a fresh design) under an active run recorder and checks the
+// resulting manifest carries the signals the observability layer
+// promises: validated schema, non-zero stage timings, per-epoch
+// training records, a convergence trace, and worker-pool counters.
+func TestAnalyzerRunEmitsManifest(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Epochs = 2
+	train, _ := tinySet(t, cfg, 2, 1)
+
+	rec := obs.NewRecorder()
+	prev := obs.SetActive(rec)
+	defer obs.SetActive(prev)
+
+	res, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pgen.Generate(pgen.DefaultConfig("obs-e2e", pgen.Real, 32, 32, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Analyzer.Analyze(d); err != nil {
+		t.Fatal(err)
+	}
+	obs.SetActive(prev)
+
+	m := rec.Manifest("analyze", cfg)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+
+	timed := 0
+	for _, st := range m.Stages {
+		if st.Seconds > 0 {
+			timed++
+		}
+	}
+	if timed == 0 {
+		t.Fatalf("no stage with non-zero wall time in %d stages", len(m.Stages))
+	}
+	for _, want := range []string{"dataset.golden_solve", "ml.inference"} {
+		found := false
+		for _, st := range m.Stages {
+			if st.Name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("stage %q missing from manifest", want)
+		}
+	}
+
+	if len(m.Epochs) != cfg.Epochs {
+		t.Errorf("epochs recorded = %d, want %d", len(m.Epochs), cfg.Epochs)
+	}
+
+	trace := false
+	for _, s := range m.Solves {
+		if s.Iterations > 0 && len(s.History) > 0 {
+			trace = true
+		}
+	}
+	if !trace {
+		t.Fatalf("no solve with a non-empty residual history (%d solves)", len(m.Solves))
+	}
+
+	pool := false
+	for name, v := range m.Counters {
+		if strings.HasPrefix(name, "parallel.") && v > 0 {
+			pool = true
+		}
+	}
+	if !pool {
+		t.Error("no parallel.* dispatch counters in manifest")
+	}
+
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.DecodeManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("re-decoded manifest invalid: %v", err)
 	}
 }

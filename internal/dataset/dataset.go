@@ -17,6 +17,7 @@ import (
 	"irfusion/internal/features"
 	"irfusion/internal/grid"
 	"irfusion/internal/nn"
+	"irfusion/internal/obs"
 	"irfusion/internal/pgen"
 	"irfusion/internal/solver"
 )
@@ -77,7 +78,13 @@ type Sample struct {
 
 // Build prepares a sample from a generated design: assemble, solve
 // golden, rough-solve for numerical features, extract feature maps.
+// Each step reports a stage timer to the active run recorder
+// (dataset.assemble, dataset.golden_solve, dataset.features.structure,
+// dataset.rough_solve, dataset.features.numerical), and the golden and
+// rough solves contribute labeled convergence traces.
 func Build(d *pgen.Design, opts Options) (*Sample, error) {
+	rec := obs.Active()
+	st := rec.StartStage("dataset.assemble")
 	nw, err := circuit.FromNetlist(d.Netlist)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
@@ -86,15 +93,18 @@ func Build(d *pgen.Design, opts Options) (*Sample, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
 	}
+	st.End()
 	h, err := amg.Build(sys.G, amg.DefaultOptions())
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
 	}
 
 	// Golden solve.
+	st = rec.StartStage("dataset.golden_solve")
 	gx := make([]float64, sys.N())
 	gRes, err := solver.PCG(sys.G, gx, sys.I, h, solver.Options{
-		Tol: opts.GoldenTol, MaxIter: opts.GoldenMaxIter, Flexible: true,
+		Tol: opts.GoldenTol, MaxIter: opts.GoldenMaxIter, Flexible: true, Record: true,
+		Label: "golden",
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %s: golden solve: %w", d.Name, err)
@@ -103,25 +113,33 @@ func Build(d *pgen.Design, opts Options) (*Sample, error) {
 		return nil, fmt.Errorf("dataset: %s: golden solve stalled at %g", d.Name, gRes.Residual)
 	}
 	golden := features.GoldenMap(nw, sys.FullDrops(gx), opts.H, opts.W)
+	st.End()
 
 	s := &Sample{Name: d.Name, Class: d.Class, Golden: golden}
 
 	start := time.Now()
 	fs := &features.Set{}
+	st = rec.StartStage("dataset.features.structure")
 	struct_ := features.StructureFeatures(nw, opts.H, opts.W)
 	if !opts.Hierarchical {
 		struct_ = collapseLayers(struct_)
 	}
+	st.End()
 	fs.Append(struct_)
 	if opts.IncludeNumerical {
 		var pre solver.Preconditioner = h
 		if opts.RoughPrecond != "amg" {
 			pre = solver.NewSSOR(sys.G, 2)
 		}
+		st = rec.StartStage("dataset.rough_solve")
 		rx := make([]float64, sys.N())
-		if _, err := solver.PCG(sys.G, rx, sys.I, pre, solver.RoughOptions(opts.RoughIters)); err != nil {
+		ropts := solver.RoughOptions(opts.RoughIters)
+		ropts.Label = "rough"
+		if _, err := solver.PCG(sys.G, rx, sys.I, pre, ropts); err != nil {
 			return nil, fmt.Errorf("dataset: %s: rough solve: %w", d.Name, err)
 		}
+		st.End()
+		st = rec.StartStage("dataset.features.numerical")
 		full := sys.FullDrops(rx)
 		num := features.NumericalFeatures(nw, full, opts.H, opts.W)
 		if !opts.Hierarchical {
@@ -129,6 +147,7 @@ func Build(d *pgen.Design, opts Options) (*Sample, error) {
 		}
 		fs.Append(num)
 		s.RoughBottom = features.GoldenMap(nw, full, opts.H, opts.W)
+		st.End()
 	}
 	s.NumericalTime = time.Since(start)
 	s.Features = fs

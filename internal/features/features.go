@@ -13,10 +13,25 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"irfusion/internal/circuit"
 	"irfusion/internal/grid"
+	"irfusion/internal/obs"
 )
+
+// timedMap builds one named feature map, accumulating its
+// rasterization time under "feature.<name>" when a run recorder is
+// active (gauge feature.<name>.seconds, counter feature.<name>.count).
+func timedMap(rec *obs.Recorder, name string, build func() *grid.Map) *grid.Map {
+	if rec == nil {
+		return build()
+	}
+	start := time.Now()
+	m := build()
+	rec.AddSeconds("feature."+name, time.Since(start))
+	return m
+}
 
 // Set is an ordered collection of named feature maps, ready to be
 // stacked into the channel dimension of a model input.
@@ -93,16 +108,20 @@ func rasterizeNodes(nw *circuit.Network, pick func(node int) (float64, bool), h,
 // into one map per metal layer — the hierarchical numerical features
 // of the paper. fullDrops must come from System.FullDrops.
 func NumericalFeatures(nw *circuit.Network, fullDrops []float64, h, w int) *Set {
+	rec := obs.Active()
 	s := &Set{}
 	for _, layer := range nw.Layers() {
 		l := layer
-		m := rasterizeNodes(nw, func(n int) (float64, bool) {
-			if nw.Meta[n].Layer != l {
-				return 0, false
-			}
-			return fullDrops[n], true
-		}, h, w, 0)
-		s.Add(fmt.Sprintf("num_drop_m%d", l), m)
+		name := fmt.Sprintf("num_drop_m%d", l)
+		m := timedMap(rec, name, func() *grid.Map {
+			return rasterizeNodes(nw, func(n int) (float64, bool) {
+				if nw.Meta[n].Layer != l {
+					return 0, false
+				}
+				return fullDrops[n], true
+			}, h, w, 0)
+		})
+		s.Add(name, m)
 	}
 	return s
 }
@@ -128,9 +147,11 @@ func GoldenMap(nw *circuit.Network, fullDrops []float64, h, w int) *grid.Map {
 // layers in proportion to their conductance contribution), effective
 // distance, PDN density, resistance, and shortest-path resistance.
 func StructureFeatures(nw *circuit.Network, h, w int) *Set {
+	rec := obs.Active()
 	s := &Set{}
 	layers := nw.Layers()
 
+	start := time.Now()
 	// Load current raster (bottom-layer attachment points).
 	loadMap := grid.New(h, w)
 	for _, l := range nw.Loads {
@@ -160,11 +181,12 @@ func StructureFeatures(nw *circuit.Network, h, w int) *Set {
 		}
 		s.Add(fmt.Sprintf("current_m%d", layer), loadMap.Clone().Scale(share))
 	}
+	rec.AddSeconds("feature.current", time.Since(start))
 
-	s.Add("eff_dist", EffectiveDistanceMap(nw, h, w))
-	s.Add("pdn_density", DensityMap(nw, h, w))
-	s.Add("resistance", ResistanceMap(nw, h, w))
-	s.Add("sp_resistance", ShortestPathResistanceMap(nw, h, w))
+	s.Add("eff_dist", timedMap(rec, "eff_dist", func() *grid.Map { return EffectiveDistanceMap(nw, h, w) }))
+	s.Add("pdn_density", timedMap(rec, "pdn_density", func() *grid.Map { return DensityMap(nw, h, w) }))
+	s.Add("resistance", timedMap(rec, "resistance", func() *grid.Map { return ResistanceMap(nw, h, w) }))
+	s.Add("sp_resistance", timedMap(rec, "sp_resistance", func() *grid.Map { return ShortestPathResistanceMap(nw, h, w) }))
 	return s
 }
 

@@ -1,6 +1,14 @@
 package nn
 
-import "irfusion/internal/parallel"
+import (
+	"irfusion/internal/obs"
+	"irfusion/internal/parallel"
+)
+
+// cGemm counts dense GEMM kernel calls (nn.gemm_calls in manifests):
+// the dominant cost driver of the ML stage, cheap to count with one
+// atomic add against the O(m·k·n) flops each call performs.
+var cGemm = obs.GlobalCounter("nn.gemm_calls")
 
 // parallelFor splits [0, n) across the shared worker pool and runs
 // fn(start, end) on each chunk concurrently. The indices here are
@@ -15,6 +23,7 @@ func parallelFor(n int, fn func(start, end int)) {
 // the inner loop streaming over B and C rows; rows of C are
 // parallelized across cores.
 func gemm(a []float64, b []float64, c []float64, m, k, n int, accumulate bool) {
+	cGemm.Inc()
 	parallelFor(m, func(start, end int) {
 		for i := start; i < end; i++ {
 			ci := c[i*n : (i+1)*n]
@@ -41,6 +50,7 @@ func gemm(a []float64, b []float64, c []float64, m, k, n int, accumulate bool) {
 // gemmTA computes C = Aᵀ·B (+C when accumulate): A is k×m (so Aᵀ is
 // m×k), B is k×n, C is m×n.
 func gemmTA(a []float64, b []float64, c []float64, m, k, n int, accumulate bool) {
+	cGemm.Inc()
 	parallelFor(m, func(start, end int) {
 		for i := start; i < end; i++ {
 			ci := c[i*n : (i+1)*n]
@@ -66,6 +76,7 @@ func gemmTA(a []float64, b []float64, c []float64, m, k, n int, accumulate bool)
 // gemmTB computes C = A·Bᵀ (+C when accumulate): A is m×k, B is n×k,
 // C is m×n.
 func gemmTB(a []float64, b []float64, c []float64, m, k, n int, accumulate bool) {
+	cGemm.Inc()
 	parallelFor(m, func(start, end int) {
 		for i := start; i < end; i++ {
 			ai := a[i*k : (i+1)*k]

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SchemaVersion identifies the manifest layout. Bump only when a
+// required key changes meaning or disappears; adding optional keys is
+// backward compatible and does not bump the version.
+const SchemaVersion = "irfusion/run-manifest/v1"
+
+// Manifest is the structured record of one pipeline run — the JSON
+// document behind the --manifest flag of cmd/irfusion and
+// cmd/experiments. Required keys (enforced by Validate and the CI
+// schema smoke test): schema, kind, start_time, wall_seconds, host,
+// stages, counters.
+type Manifest struct {
+	Schema      string             `json:"schema"`
+	Kind        string             `json:"kind"`
+	Start       time.Time          `json:"start_time"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Host        Host               `json:"host"`
+	Config      any                `json:"config,omitempty"`
+	Stages      []StageRecord      `json:"stages"`
+	Counters    map[string]int64   `json:"counters"`
+	Gauges      map[string]float64 `json:"gauges,omitempty"`
+	Solves      []SolveRecord      `json:"solves,omitempty"`
+	Epochs      []EpochRecord      `json:"epochs,omitempty"`
+}
+
+// Host captures the execution environment of the run.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Manifest freezes the recorder into a manifest of the given kind
+// ("analyze", "solve", "train", "experiments", ...) with an optional
+// configuration payload. Global counters are reported as deltas since
+// NewRecorder, merged with the per-run counters (names are
+// namespaced by convention: "parallel.*" global, everything else
+// per-run). The recorder remains usable afterwards.
+func (r *Recorder) Manifest(kind string, config any) *Manifest {
+	m := &Manifest{
+		Schema: SchemaVersion,
+		Kind:   kind,
+		Config: config,
+		Host: Host{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+	}
+	if r == nil {
+		m.Start = time.Now()
+		return m
+	}
+	m.Start = r.start
+	m.WallSeconds = time.Since(r.start).Seconds()
+	for name, now := range GlobalCounters() {
+		if d := now - r.base[name]; d != 0 {
+			m.Counters[name] = d
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, v := range r.counters {
+		m.Counters[name] += v
+	}
+	for name, v := range r.gauges {
+		m.Gauges[name] = sanitize(v)
+	}
+	for _, name := range r.stageOrder {
+		m.Stages = append(m.Stages, *r.stages[name])
+	}
+	m.Solves = append([]SolveRecord(nil), r.solves...)
+	m.Epochs = append([]EpochRecord(nil), r.epochs...)
+
+	// Derived pool-utilization gauge from the well-known parallel.*
+	// counters (see internal/parallel): the fraction of kernel
+	// dispatches that actually ran on the worker pool.
+	par := m.Counters["parallel.for.parallel"] + m.Counters["parallel.do.parallel"]
+	ser := m.Counters["parallel.for.serial"] + m.Counters["parallel.do.serial"]
+	if par+ser > 0 {
+		m.Gauges["pool.parallel_fraction"] = float64(par) / float64(par+ser)
+	}
+	return m
+}
+
+// Validate checks the invariants every manifest must satisfy —
+// the contract of SchemaVersion. It is the test used by the CI
+// schema smoke job (cmd/manifestcheck).
+func (m *Manifest) Validate() error {
+	switch {
+	case m.Schema != SchemaVersion:
+		return fmt.Errorf("obs: manifest schema %q, want %q", m.Schema, SchemaVersion)
+	case m.Kind == "":
+		return errors.New("obs: manifest kind missing")
+	case m.Start.IsZero():
+		return errors.New("obs: manifest start_time missing")
+	case m.WallSeconds <= 0:
+		return errors.New("obs: manifest wall_seconds not positive")
+	case len(m.Stages) == 0:
+		return errors.New("obs: manifest has no stages")
+	case len(m.Counters) == 0:
+		return errors.New("obs: manifest has no counters")
+	}
+	timed := false
+	for _, s := range m.Stages {
+		if s.Name == "" || s.Count <= 0 || s.Seconds < 0 {
+			return fmt.Errorf("obs: malformed stage record %+v", s)
+		}
+		if s.Seconds > 0 {
+			timed = true
+		}
+	}
+	if !timed {
+		return errors.New("obs: every stage reports zero wall time")
+	}
+	for _, s := range m.Solves {
+		if s.Label == "" || s.Iterations < 0 {
+			return fmt.Errorf("obs: malformed solve record %+v", s)
+		}
+	}
+	return nil
+}
+
+// Encode writes the manifest as indented JSON.
+func (m *Manifest) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Summary renders the human-readable end-of-run table printed by the
+// CLI front ends: per-stage wall times and allocations, solver
+// convergence, training trajectory, and worker-pool utilization.
+func (m *Manifest) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "── run manifest: %s (%.2fs wall, go %s, %d CPU) ──\n",
+		m.Kind, m.WallSeconds, m.Host.GoVersion, m.Host.NumCPU)
+	if len(m.Stages) > 0 {
+		fmt.Fprintf(&b, "%-28s %7s %12s %12s\n", "stage", "count", "wall", "alloc")
+		for _, s := range m.Stages {
+			fmt.Fprintf(&b, "%-28s %7d %12s %12s\n",
+				s.Name, s.Count, fmtSeconds(s.Seconds), fmtBytes(s.AllocBytes))
+		}
+	}
+	if len(m.Solves) > 0 {
+		fmt.Fprintf(&b, "%-28s %7s %12s %12s %s\n", "solve", "iters", "wall", "residual", "converged")
+		for _, s := range m.Solves {
+			fmt.Fprintf(&b, "%-28s %7d %12s %12.3g %v\n",
+				s.Label, s.Iterations, fmtSeconds(s.Seconds), s.Residual, s.Converged)
+		}
+	}
+	if n := len(m.Epochs); n > 0 {
+		first, last := m.Epochs[0], m.Epochs[n-1]
+		fmt.Fprintf(&b, "training: %d epochs, loss %.4g → %.4g\n", n, first.Loss, last.Loss)
+	}
+	par := m.Counters["parallel.for.parallel"] + m.Counters["parallel.do.parallel"]
+	ser := m.Counters["parallel.for.serial"] + m.Counters["parallel.do.serial"]
+	if par+ser > 0 {
+		fmt.Fprintf(&b, "pool: %d kernel dispatches, %.1f%% parallel, %d helper tasks\n",
+			par+ser, 100*float64(par)/float64(par+ser), m.Counters["parallel.tasks"])
+	}
+	var rest []string
+	for _, name := range sortedKeys(m.Counters) {
+		if !strings.HasPrefix(name, "parallel.") {
+			rest = append(rest, fmt.Sprintf("%s=%d", name, m.Counters[name]))
+		}
+	}
+	if len(rest) > 0 {
+		fmt.Fprintf(&b, "counters: %s\n", strings.Join(rest, " "))
+	}
+	return b.String()
+}
+
+func fmtSeconds(s float64) string {
+	switch {
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	}
+}
+
+// Sink receives completed manifests. Implementations: FileSink,
+// WriterSink, DiscardSink.
+type Sink interface {
+	Write(m *Manifest) error
+}
+
+// FileSink returns a sink that (re)creates path and writes the
+// manifest as indented JSON.
+func FileSink(path string) Sink { return fileSink(path) }
+
+type fileSink string
+
+func (f fileSink) Write(m *Manifest) error {
+	file, err := os.Create(string(f))
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// WriterSink returns a sink that encodes manifests to w.
+func WriterSink(w io.Writer) Sink { return writerSink{w} }
+
+type writerSink struct{ w io.Writer }
+
+func (s writerSink) Write(m *Manifest) error { return m.Encode(s.w) }
+
+// DiscardSink returns a sink that drops manifests — the configured
+// default when no --manifest flag is given.
+func DiscardSink() Sink { return discardSink{} }
+
+type discardSink struct{}
+
+func (discardSink) Write(*Manifest) error { return nil }
+
+// DecodeManifest decodes a manifest from its JSON encoding (the
+// inverse of Encode).
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: decode manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// ReadManifestFile decodes a manifest JSON file (the inverse of
+// FileSink, used by cmd/manifestcheck and tests).
+func ReadManifestFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := DecodeManifest(f)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", path, err)
+	}
+	return m, nil
+}

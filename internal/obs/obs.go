@@ -1,0 +1,322 @@
+// Package obs is the dependency-free observability layer of the
+// IR-Fusion pipeline. It makes the fused numerical+ML run measurable
+// instead of a black box: where the wall time goes stage by stage, how
+// the PCG residual actually converged, what the AMG setup produced,
+// and what the shared worker pool (package parallel) contributed.
+//
+// The package has three parts:
+//
+//   - A per-run Recorder of named counters, gauges, labeled solver
+//     convergence traces, per-epoch training records, and monotonic
+//     stage timers (wall time plus runtime.ReadMemStats allocation
+//     deltas). Every Recorder method is safe for concurrent use and
+//     safe on a nil receiver, so instrumented code calls it
+//     unconditionally: when no run is being observed, Active() returns
+//     nil and the instrumentation reduces to a pointer test.
+//
+//   - Process-wide global counters (GlobalCounter): single atomic
+//     adds, cheap enough to stay permanently enabled inside the hot
+//     kernels of package parallel. A Recorder snapshots the globals at
+//     creation, so each run manifest reports the per-run delta.
+//
+//   - Run manifests (manifest.go): one structured JSON document per
+//     Analyzer/Trainer run, written through a pluggable Sink, plus an
+//     optional debug HTTP endpoint (debug.go) exposing expvar and
+//     pprof.
+//
+// obs imports only the standard library; every other internal package
+// may import it without creating a cycle.
+package obs
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter, the unit of
+// the process-wide (global) metric registry.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+var (
+	globalMu sync.Mutex
+	globals  = map[string]*Counter{}
+)
+
+// GlobalCounter returns the process-wide counter registered under
+// name, creating it on first use. The returned pointer is stable for
+// the process lifetime; hot paths should capture it in a package
+// variable so each event costs one atomic add.
+func GlobalCounter(name string) *Counter {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	c, ok := globals[name]
+	if !ok {
+		c = &Counter{}
+		globals[name] = c
+	}
+	return c
+}
+
+// CounterValue returns the current value of the named global counter,
+// or 0 when it was never registered.
+func CounterValue(name string) int64 {
+	globalMu.Lock()
+	c := globals[name]
+	globalMu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// GlobalCounters returns a snapshot of every registered global
+// counter.
+func GlobalCounters() map[string]int64 {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	out := make(map[string]int64, len(globals))
+	for name, c := range globals {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// StageRecord aggregates every completed timer of one stage name:
+// how often the stage ran, its total wall time, and the total heap
+// allocation it caused (process-global ReadMemStats deltas, so
+// concurrent allocation from other goroutines is attributed too —
+// treat the byte counts as indicative, not exact).
+type StageRecord struct {
+	Name       string  `json:"name"`
+	Count      int64   `json:"count"`
+	Seconds    float64 `json:"seconds"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Mallocs    uint64  `json:"mallocs"`
+}
+
+// SolveRecord is one labeled Krylov solve: iteration count, final
+// relative residual, and the full per-iteration residual history (the
+// convergence trace the fusion trade-off study reads).
+type SolveRecord struct {
+	Label      string    `json:"label"`
+	Iterations int       `json:"iterations"`
+	Residual   float64   `json:"residual"`
+	Converged  bool      `json:"converged"`
+	Seconds    float64   `json:"seconds"`
+	History    []float64 `json:"history,omitempty"`
+}
+
+// EpochRecord is one training epoch: loss trajectory, learning rate,
+// curriculum subset size, and timing.
+type EpochRecord struct {
+	Epoch   int      `json:"epoch"`
+	Loss    float64  `json:"loss"`
+	ValLoss *float64 `json:"val_loss,omitempty"`
+	LR      float64  `json:"lr"`
+	Samples int      `json:"samples"`
+	Batches int      `json:"batches"`
+	Seconds float64  `json:"seconds"`
+}
+
+// Recorder accumulates the observations of one run. The zero value is
+// not usable; construct with NewRecorder. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Recorder struct {
+	start time.Time
+	base  map[string]int64 // global-counter snapshot at creation
+
+	mu         sync.Mutex
+	counters   map[string]int64
+	gauges     map[string]float64
+	stageOrder []string
+	stages     map[string]*StageRecord
+	solves     []SolveRecord
+	epochs     []EpochRecord
+}
+
+// NewRecorder returns a recorder whose manifest will report global
+// counters as deltas from this moment.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		start:    time.Now(),
+		base:     GlobalCounters(),
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		stages:   map[string]*StageRecord{},
+	}
+}
+
+// Add increments a per-run counter.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGauge sets a per-run gauge to v (last write wins).
+func (r *Recorder) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// AddSeconds accumulates a duration into the gauge "<name>.seconds"
+// and bumps the counter "<name>.count" — the idiom for hot
+// sub-stage timings (AMG cycles, per-map rasterization) that are too
+// frequent for individual stage records.
+func (r *Recorder) AddSeconds(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name+".seconds"] += d.Seconds()
+	r.counters[name+".count"]++
+	r.mu.Unlock()
+}
+
+// Stage is an in-flight stage timer returned by StartStage. End
+// completes it; a nil Stage (from a nil Recorder) is inert.
+type Stage struct {
+	r       *Recorder
+	name    string
+	start   time.Time
+	alloc   uint64
+	mallocs uint64
+}
+
+// StartStage begins a named stage timer, snapshotting wall clock and
+// allocation statistics. Stages of the same name aggregate into one
+// StageRecord (count, total seconds, total allocation).
+func (r *Recorder) StartStage(name string) *Stage {
+	if r == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &Stage{r: r, name: name, start: time.Now(), alloc: ms.TotalAlloc, mallocs: ms.Mallocs}
+}
+
+// End completes the stage and folds it into the recorder.
+func (s *Stage) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.r.recordStage(s.name, d, ms.TotalAlloc-s.alloc, ms.Mallocs-s.mallocs)
+}
+
+func (r *Recorder) recordStage(name string, d time.Duration, alloc, mallocs uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sr, ok := r.stages[name]
+	if !ok {
+		sr = &StageRecord{Name: name}
+		r.stages[name] = sr
+		r.stageOrder = append(r.stageOrder, name)
+	}
+	sr.Count++
+	sr.Seconds += d.Seconds()
+	sr.AllocBytes += alloc
+	sr.Mallocs += mallocs
+}
+
+// RecordSolve appends a labeled solver convergence trace. The history
+// slice is copied, so callers may keep mutating theirs.
+func (r *Recorder) RecordSolve(s SolveRecord) {
+	if r == nil {
+		return
+	}
+	s.History = append([]float64(nil), s.History...)
+	for i, v := range s.History {
+		s.History[i] = sanitize(v)
+	}
+	s.Residual = sanitize(s.Residual)
+	r.mu.Lock()
+	r.solves = append(r.solves, s)
+	r.mu.Unlock()
+}
+
+// RecordEpoch appends a training-epoch record.
+func (r *Recorder) RecordEpoch(e EpochRecord) {
+	if r == nil {
+		return
+	}
+	e.Loss = sanitize(e.Loss)
+	if e.ValLoss != nil {
+		v := sanitize(*e.ValLoss)
+		e.ValLoss = &v
+	}
+	r.mu.Lock()
+	r.epochs = append(r.epochs, e)
+	r.mu.Unlock()
+}
+
+// sanitize maps non-finite values onto JSON-representable sentinels:
+// NaN becomes -1 (no valid residual/loss is negative) and ±Inf
+// saturates to ±MaxFloat64, so a diverged run still produces a valid
+// manifest instead of a json.Marshal error.
+func sanitize(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return -1
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	default:
+		return v
+	}
+}
+
+// active is the process-wide recorder instrumented code reports to.
+var active atomic.Pointer[Recorder]
+
+// Active returns the recorder of the run in progress, or nil when
+// nothing is being observed. Instrumented hot paths call
+// obs.Active() and skip all work on nil — that pointer test is the
+// whole cost of disabled observability.
+func Active() *Recorder { return active.Load() }
+
+// SetActive installs r (which may be nil) as the process-wide
+// recorder and returns the previous one, enabling save/restore in
+// tests:
+//
+//	prev := obs.SetActive(obs.NewRecorder())
+//	defer obs.SetActive(prev)
+func SetActive(r *Recorder) *Recorder {
+	prev := active.Load()
+	active.Store(r)
+	return prev
+}
+
+// sortedKeys returns the keys of a map in sorted order (manifest
+// determinism for maps rendered as JSON arrays or summaries).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

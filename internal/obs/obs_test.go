@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Add("x", 1)
+	r.SetGauge("g", 1)
+	r.AddSeconds("s", time.Second)
+	r.RecordSolve(SolveRecord{Label: "x"})
+	r.RecordEpoch(EpochRecord{})
+	st := r.StartStage("stage")
+	if st != nil {
+		t.Fatal("nil recorder must hand out nil stages")
+	}
+	st.End() // must not panic
+	m := r.Manifest("test", nil)
+	if m.Schema != SchemaVersion {
+		t.Errorf("nil-recorder manifest schema %q", m.Schema)
+	}
+}
+
+func TestGlobalCounterRegistry(t *testing.T) {
+	c := GlobalCounter("test.registry.counter")
+	if c != GlobalCounter("test.registry.counter") {
+		t.Fatal("GlobalCounter not idempotent")
+	}
+	before := CounterValue("test.registry.counter")
+	c.Add(3)
+	c.Inc()
+	if got := CounterValue("test.registry.counter"); got != before+4 {
+		t.Errorf("counter = %d, want %d", got, before+4)
+	}
+	if CounterValue("test.registry.never-registered") != 0 {
+		t.Error("unregistered counter must read 0")
+	}
+	if _, ok := GlobalCounters()["test.registry.counter"]; !ok {
+		t.Error("snapshot missing registered counter")
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from many goroutines;
+// the CI race job (-race with a wide pool) is the real assertion.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	g := GlobalCounter("test.concurrent.global")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add("hits", 1)
+				r.SetGauge(fmt.Sprintf("gauge%d", w), float64(i))
+				r.AddSeconds("work", time.Microsecond)
+				st := r.StartStage("stage")
+				st.End()
+				r.RecordSolve(SolveRecord{Label: "s", Iterations: i, History: []float64{1, 0.5}})
+				r.RecordEpoch(EpochRecord{Epoch: i})
+				g.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := r.Manifest("test", nil)
+	if m.Counters["hits"] != 1600 {
+		t.Errorf("hits = %d, want 1600", m.Counters["hits"])
+	}
+	if m.Counters["work.count"] != 1600 {
+		t.Errorf("work.count = %d, want 1600", m.Counters["work.count"])
+	}
+	if len(m.Solves) != 1600 || len(m.Epochs) != 1600 {
+		t.Errorf("solves/epochs = %d/%d, want 1600 each", len(m.Solves), len(m.Epochs))
+	}
+	if len(m.Stages) != 1 || m.Stages[0].Count != 1600 {
+		t.Errorf("stage aggregation wrong: %+v", m.Stages)
+	}
+	if m.Counters["test.concurrent.global"] != 1600 {
+		t.Errorf("global delta = %d, want 1600", m.Counters["test.concurrent.global"])
+	}
+}
+
+func TestActiveSaveRestore(t *testing.T) {
+	r := NewRecorder()
+	prev := SetActive(r)
+	if Active() != r {
+		t.Fatal("Active() did not return the installed recorder")
+	}
+	if got := SetActive(prev); got != r {
+		t.Fatal("SetActive did not return the previous recorder")
+	}
+}
+
+func testManifest(t *testing.T) *Manifest {
+	t.Helper()
+	r := NewRecorder()
+	GlobalCounter("parallel.for.parallel").Add(3)
+	GlobalCounter("parallel.for.serial").Add(1)
+	st := r.StartStage("solve")
+	time.Sleep(2 * time.Millisecond)
+	st.End()
+	r.Add("designs", 2)
+	r.SetGauge("amg.levels", 4)
+	r.RecordSolve(SolveRecord{
+		Label: "golden", Iterations: 3, Residual: 1e-11, Converged: true,
+		Seconds: 0.01, History: []float64{1, 0.1, 1e-6, 1e-11},
+	})
+	vl := 0.5
+	r.RecordEpoch(EpochRecord{Epoch: 0, Loss: 1.5, ValLoss: &vl, LR: 1e-3, Samples: 8, Batches: 2, Seconds: 0.1})
+	return r.Manifest("analyze", map[string]int{"iters": 3})
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest(t)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fresh manifest invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped manifest invalid: %v", err)
+	}
+	if back.Kind != "analyze" || len(back.Solves) != 1 || len(back.Solves[0].History) != 4 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Counters["parallel.for.parallel"] != 3 {
+		t.Errorf("global counter delta lost: %v", back.Counters)
+	}
+	if f := back.Gauges["pool.parallel_fraction"]; f != 0.75 {
+		t.Errorf("pool.parallel_fraction = %v, want 0.75", f)
+	}
+	if back.Epochs[0].ValLoss == nil || *back.Epochs[0].ValLoss != 0.5 {
+		t.Error("val loss lost")
+	}
+}
+
+// TestManifestSchemaStability pins the required top-level JSON keys.
+// Renaming or removing any of these is a schema break and must bump
+// SchemaVersion (and this test).
+func TestManifestSchemaStability(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testManifest(t).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"schema", "kind", "start_time", "wall_seconds", "host",
+		"stages", "counters", "gauges", "solves", "epochs",
+	} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("manifest missing required key %q", key)
+		}
+	}
+	if raw["schema"] != SchemaVersion {
+		t.Errorf("schema = %v", raw["schema"])
+	}
+	stage := raw["stages"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "count", "seconds", "alloc_bytes", "mallocs"} {
+		if _, ok := stage[key]; !ok {
+			t.Errorf("stage record missing key %q", key)
+		}
+	}
+	solve := raw["solves"].([]any)[0].(map[string]any)
+	for _, key := range []string{"label", "iterations", "residual", "converged", "seconds", "history"} {
+		if _, ok := solve[key]; !ok {
+			t.Errorf("solve record missing key %q", key)
+		}
+	}
+}
+
+func TestValidateRejectsBrokenManifests(t *testing.T) {
+	mut := map[string]func(*Manifest){
+		"schema":   func(m *Manifest) { m.Schema = "bogus" },
+		"kind":     func(m *Manifest) { m.Kind = "" },
+		"stages":   func(m *Manifest) { m.Stages = nil },
+		"wall":     func(m *Manifest) { m.WallSeconds = 0 },
+		"counters": func(m *Manifest) { m.Counters = nil },
+		"zero-time-stages": func(m *Manifest) {
+			for i := range m.Stages {
+				m.Stages[i].Seconds = 0
+			}
+		},
+	}
+	for name, f := range mut {
+		m := testManifest(t)
+		f(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken manifest", name)
+		}
+	}
+}
+
+func TestNonFiniteValuesSanitized(t *testing.T) {
+	r := NewRecorder()
+	st := r.StartStage("s")
+	st.End()
+	r.SetGauge("bad", math.Inf(1))
+	r.RecordSolve(SolveRecord{Label: "d", Residual: math.NaN(), History: []float64{math.Inf(-1)}})
+	loss := math.NaN()
+	r.RecordEpoch(EpochRecord{Loss: math.NaN(), ValLoss: &loss})
+	var buf bytes.Buffer
+	if err := r.Manifest("test", nil).Encode(&buf); err != nil {
+		t.Fatalf("manifest with non-finite inputs must still encode: %v", err)
+	}
+}
+
+func TestSinks(t *testing.T) {
+	m := testManifest(t)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := FileSink(path).Write(m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriterSink(&buf).Write(m); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("writer sink wrote nothing")
+	}
+	if err := DiscardSink().Write(m); err != nil {
+		t.Error(err)
+	}
+	if err := FileSink(filepath.Join(t.TempDir(), "no", "such", "dir", "m.json")).Write(m); err == nil {
+		t.Error("file sink must surface create errors")
+	}
+	if _, err := ReadManifestFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("reading a missing manifest must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := ReadManifestFile(bad); err == nil {
+		t.Error("reading garbage must fail")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := testManifest(t).Summary()
+	for _, want := range []string{"analyze", "solve", "golden", "pool:", "designs=2", "training: 1 epochs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	srv, addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "irfusion_counters") {
+		t.Error("/debug/vars does not expose the global counters")
+	}
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+	if _, _, err := ServeDebug(addr); err == nil {
+		t.Error("binding the same address twice must fail")
+	}
+}

@@ -41,6 +41,26 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"irfusion/internal/obs"
+)
+
+// Dispatch counters, permanently enabled (one atomic add per kernel
+// dispatch, noise next to any kernel's work). They are the raw data
+// behind the worker-pool utilization reported in run manifests and
+// the bench_test worker-sweep metrics:
+//
+//	parallel.for.parallel  For/ForMin kernels dispatched to the pool
+//	parallel.for.serial    For/ForMin kernels on the serial fallback
+//	parallel.do.parallel   Do/ReduceSum kernels dispatched to the pool
+//	parallel.do.serial     Do/ReduceSum kernels on the serial fallback
+//	parallel.tasks         helper tasks accepted by pool workers
+var (
+	cForParallel = obs.GlobalCounter("parallel.for.parallel")
+	cForSerial   = obs.GlobalCounter("parallel.for.serial")
+	cDoParallel  = obs.GlobalCounter("parallel.do.parallel")
+	cDoSerial    = obs.GlobalCounter("parallel.do.serial")
+	cTasks       = obs.GlobalCounter("parallel.tasks")
 )
 
 const (
@@ -164,6 +184,7 @@ submit:
 		}
 		select {
 		case p.tasks <- task:
+			cTasks.Inc()
 		default:
 			wg.Done()
 			break submit
@@ -190,9 +211,11 @@ func (p *Pool) ForMin(n, minWork int, fn func(lo, hi int)) {
 		return
 	}
 	if p.serial() || n < minWork {
+		cForSerial.Inc()
 		fn(0, n)
 		return
 	}
+	cForParallel.Inc()
 	chunks := p.workers * chunksPerWorker
 	if chunks > n {
 		chunks = n
@@ -230,11 +253,13 @@ func (p *Pool) Do(k int, fn func(i int)) {
 		return
 	}
 	if p.serial() || k == 1 {
+		cDoSerial.Inc()
 		for i := 0; i < k; i++ {
 			fn(i)
 		}
 		return
 	}
+	cDoParallel.Inc()
 	var next int64
 	runner := func() {
 		for {
@@ -265,6 +290,7 @@ func (p *Pool) ReduceSum(n int, fn func(lo, hi int) float64) float64 {
 		return 0
 	}
 	if p.serial() || n < p.minWork {
+		cDoSerial.Inc()
 		return fn(0, n)
 	}
 	blocks := (n + ReduceBlock - 1) / ReduceBlock

@@ -8,7 +8,9 @@ package solver
 import (
 	"errors"
 	"math"
+	"time"
 
+	"irfusion/internal/obs"
 	"irfusion/internal/parallel"
 	"irfusion/internal/sparse"
 )
@@ -66,6 +68,11 @@ type Options struct {
 	Flexible bool
 	// Record keeps the relative residual after every iteration.
 	Record bool
+	// Label names the solve in observability output: when a run
+	// recorder is active (obs.Active), PCG reports its iteration
+	// count, timing, and residual history under this label. Empty
+	// defaults to "pcg".
+	Label string
 }
 
 // DefaultOptions returns a converged-solve configuration.
@@ -99,7 +106,28 @@ var ErrIndefinite = errors.New("solver: operator or preconditioner not positive 
 // history is bitwise reproducible run-to-run and across parallel
 // worker counts; a single-worker pool reproduces the serial seed
 // results exactly.
-func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (Result, error) {
+//
+// When a run recorder is active (obs.Active), the outcome — iteration
+// count, wall time, final residual, and the recorded history — is
+// reported as a SolveRecord under opts.Label.
+func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (res Result, err error) {
+	if rec := obs.Active(); rec != nil {
+		label := opts.Label
+		if label == "" {
+			label = "pcg"
+		}
+		start := time.Now()
+		defer func() {
+			rec.RecordSolve(obs.SolveRecord{
+				Label:      label,
+				Iterations: res.Iterations,
+				Residual:   res.Residual,
+				Converged:  res.Converged,
+				Seconds:    time.Since(start).Seconds(),
+				History:    res.History,
+			})
+		}()
+	}
 	n := a.Rows()
 	if len(x) != n || len(b) != n {
 		return Result{}, errors.New("solver: dimension mismatch")
@@ -134,7 +162,6 @@ func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (Result,
 			r[i] = b[i] - r[i]
 		}
 	})
-	res := Result{}
 	rel := sparse.Norm2(r) / bn
 	if opts.Record {
 		res.History = append(res.History, rel)

@@ -15,8 +15,15 @@ import (
 	"math"
 	"sort"
 
+	"irfusion/internal/obs"
 	"irfusion/internal/parallel"
 )
+
+// cSpmvSerial accounts the SpMV serial fast path (taken before any
+// pool dispatch, so the pool's own counters never see it) under the
+// shared serial-kernel counter, keeping the pool-utilization numbers
+// in run manifests and benchmarks honest.
+var cSpmvSerial = obs.GlobalCounter("parallel.do.serial")
 
 // Triplet accumulates matrix entries in coordinate form. Duplicate
 // entries for the same (row, col) are summed when converting to CSR,
@@ -183,6 +190,7 @@ func checkNoAlias(op string, y, x []float64) {
 func (m *CSR) spmv(y, x []float64, add bool) {
 	pool := parallel.Default()
 	if pool.Workers() <= 1 || m.NNZ() < pool.MinWork() {
+		cSpmvSerial.Inc()
 		m.spmvRange(y, x, 0, m.RowsN, add)
 		return
 	}
