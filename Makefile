@@ -8,7 +8,7 @@ GO ?= go
 # machines and miniature test grids.
 RACE_ENV = IRFUSION_WORKERS=4 IRFUSION_PAR_THRESHOLD=1
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke manifest-smoke
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke manifest-smoke fuzz-smoke cover-check
 
 all: fmt-check vet build test
 
@@ -44,3 +44,23 @@ MANIFEST_OUT ?= /tmp/irfusion-manifest.json
 manifest-smoke: ## end-to-end analyze run; fails when the run manifest is missing required signals
 	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -manifest $(MANIFEST_OUT)
 	$(GO) run ./cmd/manifestcheck $(MANIFEST_OUT)
+
+FUZZTIME ?= 30s
+
+fuzz-smoke: ## short fuzz run of the SPICE parser (panics and broken round trips fail the build)
+	$(GO) test -fuzz=FuzzParseSPICE -fuzztime=$(FUZZTIME) -run='^$$' ./internal/spice
+
+# Total-statement-coverage floor. Measured at 77.5% when recorded; the
+# margin absorbs run-to-run noise from timing-dependent serve paths.
+# Raise it when new tests push coverage up — never lower it to make a
+# PR pass.
+COVERAGE_BASELINE ?= 75.0
+COVER_PROFILE ?= /tmp/irfusion-cover.out
+
+cover-check: ## fail when total statement coverage drops below COVERAGE_BASELINE
+	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
+	@total="$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
+	echo "total coverage: $$total% (baseline $(COVERAGE_BASELINE)%)"; \
+	if ! awk -v t="$$total" -v b="$(COVERAGE_BASELINE)" 'BEGIN { exit !(t+0 >= b+0) }'; then \
+		echo "coverage $$total% fell below the $(COVERAGE_BASELINE)% baseline"; exit 1; \
+	fi

@@ -5,6 +5,7 @@
 //	irfusion solve    -spice design.sp [-iters 0] [-tol 1e-10] [-pgm drop.pgm]
 //	irfusion analyze  [-spice design.sp] [-iters 0] [-model-file model.bin] [-manifest run.json]
 //	irfusion transient -spice design.sp [-h 1e-12] [-steps 100] [-burst 20]
+//	irfusion serve    [-addr localhost:8080] [-workers 2] [-queue 16] [-model-file model.bin]
 //	irfusion train    -model irfusion [-fake 8 -real 4 -epochs 10] -out model.bin
 //	irfusion predict  -spice design.sp -model-file model.bin [-pgm pred.pgm]
 //	irfusion models
@@ -58,6 +59,8 @@ func main() {
 		err = cmdPredict(os.Args[2:])
 	case "transient":
 		err = cmdTransient(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "models":
 		for _, n := range core.ModelNames() {
 			fmt.Println(n)
@@ -81,11 +84,12 @@ commands:
   solve    numerical IR-drop analysis (AMG-PCG)
   analyze  instrumented end-to-end analysis; -manifest writes a JSON run manifest
   transient dynamic IR-drop analysis (backward Euler over C cards)
+  serve    long-lived HTTP analysis service (POST /v1/analyze; see docs/SERVING.md)
   train    train a fusion model on generated designs
   predict  fused numerical+ML IR-drop prediction
   models   list registered model architectures
 
-solve, analyze, train, and predict also take -manifest FILE and -debug-addr ADDR.`)
+solve, analyze, serve, train, and predict also take -manifest FILE and -debug-addr ADDR.`)
 }
 
 func cmdGen(args []string) error {

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -138,7 +139,16 @@ type Analyzer struct {
 // predicted IR-drop map in volts (clamped non-negative). In residual
 // mode the model output corrects the rasterized rough solution.
 func (a *Analyzer) Predict(s *dataset.Sample) *grid.Map {
-	st := obs.Active().StartStage("ml.inference")
+	return a.PredictCtx(context.Background(), s)
+}
+
+// PredictCtx is Predict reporting to the recorder resolved from ctx
+// (obs.ActiveOr), so concurrent predictions with per-context recorders
+// do not cross-talk. The dense forward pass is not interruptible; ctx
+// only selects the recorder here — cancellation takes effect at the
+// solver loops upstream (see AnalyzeCtx).
+func (a *Analyzer) PredictCtx(ctx context.Context, s *dataset.Sample) *grid.Map {
+	st := obs.ActiveOr(ctx).StartStage("ml.inference")
 	defer st.End()
 	x, _ := dataset.ToTensors([]*dataset.Sample{s})
 	a.Norm.Apply(x)
@@ -164,12 +174,20 @@ func (a *Analyzer) Predict(s *dataset.Sample) *grid.Map {
 // feature extraction, ML refinement. It returns the predicted map and
 // the wall-clock runtime (numerical stage + inference).
 func (a *Analyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, error) {
-	s, err := dataset.Build(d, a.Config.DatasetOptions())
+	return a.AnalyzeCtx(context.Background(), d)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation and per-context
+// observability: the rough/golden solves stop early when ctx is
+// cancelled (solver.ErrCancelled), and all stage timers and solve
+// records report to the recorder bound to ctx, if any.
+func (a *Analyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*grid.Map, time.Duration, error) {
+	s, err := dataset.BuildCtx(ctx, d, a.Config.DatasetOptions())
 	if err != nil {
 		return nil, 0, err
 	}
 	start := time.Now()
-	pred := a.Predict(s)
+	pred := a.PredictCtx(ctx, s)
 	return pred, s.NumericalTime + time.Since(start), nil
 }
 
@@ -537,7 +555,14 @@ type NumericalAnalyzer struct {
 // Analyze solves the design and rasterizes the bottom-layer drops,
 // returning the map, runtime, and the relative residual reached.
 func (n *NumericalAnalyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, float64, error) {
-	rec := obs.Active()
+	return n.AnalyzeCtx(context.Background(), d)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation (the PCG loop
+// stops early with solver.ErrCancelled when ctx is cancelled) and
+// per-context observability via obs.ActiveOr.
+func (n *NumericalAnalyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*grid.Map, time.Duration, float64, error) {
+	rec := obs.ActiveOr(ctx)
 	start := time.Now()
 	st := rec.StartStage("numerical.assemble")
 	nw, err := circuit.FromNetlist(d.Netlist)
@@ -569,7 +594,7 @@ func (n *NumericalAnalyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, f
 		pre = h
 	}
 	st = rec.StartStage("numerical.solve")
-	res, err := solver.PCG(sys.G, x, sys.I, pre, opts)
+	res, err := solver.PCGCtx(ctx, sys.G, x, sys.I, pre, opts)
 	if err != nil {
 		return nil, 0, 0, err
 	}

@@ -7,6 +7,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -83,7 +84,17 @@ type Sample struct {
 // dataset.rough_solve, dataset.features.numerical), and the golden and
 // rough solves contribute labeled convergence traces.
 func Build(d *pgen.Design, opts Options) (*Sample, error) {
-	rec := obs.Active()
+	return BuildCtx(context.Background(), d, opts)
+}
+
+// BuildCtx is Build with cooperative cancellation and per-context
+// observability: the golden and rough solves run through solver.PCGCtx
+// so a cancelled context stops them mid-iteration, and every stage
+// timer and convergence trace reports to the recorder resolved from
+// ctx (obs.ActiveOr), keeping concurrent builds isolated when each
+// carries its own recorder.
+func BuildCtx(ctx context.Context, d *pgen.Design, opts Options) (*Sample, error) {
+	rec := obs.ActiveOr(ctx)
 	st := rec.StartStage("dataset.assemble")
 	nw, err := circuit.FromNetlist(d.Netlist)
 	if err != nil {
@@ -102,7 +113,7 @@ func Build(d *pgen.Design, opts Options) (*Sample, error) {
 	// Golden solve.
 	st = rec.StartStage("dataset.golden_solve")
 	gx := make([]float64, sys.N())
-	gRes, err := solver.PCG(sys.G, gx, sys.I, h, solver.Options{
+	gRes, err := solver.PCGCtx(ctx, sys.G, gx, sys.I, h, solver.Options{
 		Tol: opts.GoldenTol, MaxIter: opts.GoldenMaxIter, Flexible: true, Record: true,
 		Label: "golden",
 	})
@@ -135,7 +146,7 @@ func Build(d *pgen.Design, opts Options) (*Sample, error) {
 		rx := make([]float64, sys.N())
 		ropts := solver.RoughOptions(opts.RoughIters)
 		ropts.Label = "rough"
-		if _, err := solver.PCG(sys.G, rx, sys.I, pre, ropts); err != nil {
+		if _, err := solver.PCGCtx(ctx, sys.G, rx, sys.I, pre, ropts); err != nil {
 			return nil, fmt.Errorf("dataset: %s: rough solve: %w", d.Name, err)
 		}
 		st.End()

@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"irfusion/internal/core"
+	"irfusion/internal/dataset"
+	"irfusion/internal/grid"
+	"irfusion/internal/obs"
+	"irfusion/internal/pgen"
+	"irfusion/internal/solver"
+	"irfusion/internal/spice"
+)
+
+// Analysis modes accepted by POST /v1/analyze.
+const (
+	// ModeNumerical runs the pure AMG-PCG (or budgeted SSOR-PCG)
+	// numerical analysis.
+	ModeNumerical = "numerical"
+	// ModeFused runs the fused numerical+ML pipeline; requires the
+	// server to be configured with a trained Analyzer.
+	ModeFused = "fused"
+)
+
+// maxIters bounds the per-request iteration budget (admission limit).
+const maxIters = 100000
+
+// AnalyzeRequest is the body of POST /v1/analyze. Exactly one of
+// Spice (a SPICE power-grid deck as text) and Pgen (a generator
+// configuration) must be set.
+type AnalyzeRequest struct {
+	// Spice is a SPICE deck in the ICCAD-2023 contest format.
+	Spice string `json:"spice,omitempty"`
+	// Pgen generates a synthetic design server-side. Omitted fields
+	// take the pgen defaults (the default layer stack in particular).
+	Pgen *pgen.Config `json:"pgen,omitempty"`
+	// Mode is "numerical" (default) or "fused".
+	Mode string `json:"mode,omitempty"`
+	// Iters is the PCG iteration budget; 0 means solve to
+	// convergence (numerical mode) or the model's configured rough
+	// budget (fused mode).
+	Iters int `json:"iters,omitempty"`
+	// Precond selects the budgeted-solve preconditioner: "amg"
+	// (default) or "ssor". Ignored by fused mode.
+	Precond string `json:"precond,omitempty"`
+	// Resolution is the raster size of the returned map (numerical
+	// mode; default: the design's die size). Fused mode always
+	// rasters at the model's training resolution.
+	Resolution int `json:"resolution,omitempty"`
+	// Async makes the call return 202 with a job id immediately;
+	// poll GET /v1/jobs/{id} for the result.
+	Async bool `json:"async,omitempty"`
+	// TimeoutMS bounds the job's wall time; on expiry the solver
+	// stops mid-iteration and the job fails with a partial manifest.
+	// 0 uses the server's default timeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// IncludeMap returns the full row-major drop map (resolution²
+	// float64s) in the result, not just its summary statistics.
+	IncludeMap bool `json:"include_map,omitempty"`
+	// OmitManifest drops the per-request run manifest from the
+	// result (manifests are attached by default).
+	OmitManifest bool `json:"omit_manifest,omitempty"`
+}
+
+// AnalyzeResult is the payload of a finished job. A cancelled or
+// timed-out job still carries the manifest (with the partial solver
+// residual history); the map statistics are then absent.
+type AnalyzeResult struct {
+	Design         string        `json:"design,omitempty"`
+	Mode           string        `json:"mode,omitempty"`
+	Resolution     int           `json:"resolution,omitempty"`
+	MaxDropVolts   float64       `json:"max_drop_volts,omitempty"`
+	MeanDropVolts  float64       `json:"mean_drop_volts,omitempty"`
+	HotspotYX      *[2]int       `json:"hotspot_yx,omitempty"`
+	Residual       float64       `json:"residual,omitempty"`
+	RuntimeSeconds float64       `json:"runtime_seconds,omitempty"`
+	Map            []float64     `json:"map,omitempty"`
+	Manifest       *obs.Manifest `json:"manifest,omitempty"`
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone is the only failure; nothing to do
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	cRequests.Inc()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req AnalyzeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			cRejected.Inc()
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	design, err := s.prepare(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	}
+	j := &Job{
+		req:       req,
+		submitted: time.Now(),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		status:    StatusQueued,
+		ctx:       ctx,
+		design:    design,
+	}
+	s.reg.add(j)
+
+	if !s.submit(j) {
+		cancel()
+		cRejected.Inc()
+		j.finalize(StatusFailed, "queue full or server draining", nil)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "job queue full or server draining")
+		return
+	}
+
+	if req.Async {
+		w.Header().Set("Location", "/v1/jobs/"+j.ID())
+		writeJSON(w, http.StatusAccepted, j.Snapshot())
+		return
+	}
+
+	// Synchronous: wait for the job, or cancel it when the client
+	// goes away so the worker slot frees up promptly.
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		j.Cancel()
+		<-j.Done()
+		return // client is gone; nothing to write
+	}
+	v := j.Snapshot()
+	switch v.Status {
+	case StatusDone:
+		writeJSON(w, http.StatusOK, v)
+	case StatusCancelled:
+		writeJSON(w, http.StatusConflict, v)
+	default:
+		code := http.StatusInternalServerError
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		writeJSON(w, code, v)
+	}
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	cRequests.Inc()
+	j, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	cRequests.Inc()
+	j, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.submitMu.Lock()
+	draining := s.draining
+	s.submitMu.Unlock()
+	status, code := "ok", http.StatusOK
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	pw, pm := s.poolInfo()
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.cfg.Workers,
+		"in_flight":      s.InFlight(),
+		"queue_len":      len(s.queue),
+		"queue_cap":      s.cfg.QueueDepth,
+		"pool_workers":   pw,
+		"pool_min_work":  pm,
+		"fused_model":    s.cfg.Analyzer != nil,
+		"jobs":           s.reg.counts(),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"counters": obs.GlobalCounters(),
+		"gauges": map[string]float64{
+			"serve.uptime_seconds": time.Since(s.start).Seconds(),
+			"serve.queue_len":      float64(len(s.queue)),
+			"serve.in_flight":      float64(s.InFlight()),
+			"serve.workers":        float64(s.cfg.Workers),
+		},
+	})
+}
+
+// prepare validates a request and resolves its design. It runs on the
+// request goroutine so malformed submissions fail with 400 before
+// consuming a queue slot.
+func (s *Server) prepare(req *AnalyzeRequest) (*pgen.Design, error) {
+	switch req.Mode {
+	case "":
+		req.Mode = ModeNumerical
+	case ModeNumerical:
+	case ModeFused:
+		if s.cfg.Analyzer == nil {
+			return nil, errors.New("fused mode unavailable: no model loaded (start the server with -model-file)")
+		}
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want %q or %q)", req.Mode, ModeNumerical, ModeFused)
+	}
+	switch req.Precond {
+	case "":
+		req.Precond = "amg"
+	case "amg", "ssor":
+	default:
+		return nil, fmt.Errorf("unknown precond %q (want amg or ssor)", req.Precond)
+	}
+	if req.Iters < 0 || req.Iters > maxIters {
+		return nil, fmt.Errorf("iters %d out of range [0, %d]", req.Iters, maxIters)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, errors.New("timeout_ms must be non-negative")
+	}
+	if req.Resolution < 0 || req.Resolution > s.cfg.MaxDesignSize {
+		return nil, fmt.Errorf("resolution %d out of range [0, %d]", req.Resolution, s.cfg.MaxDesignSize)
+	}
+
+	hasSpice, hasPgen := req.Spice != "", req.Pgen != nil
+	if hasSpice == hasPgen {
+		return nil, errors.New("exactly one of \"spice\" and \"pgen\" must be set")
+	}
+	if hasPgen {
+		cfg := *req.Pgen
+		if cfg.Name == "" {
+			cfg.Name = "request"
+		}
+		if cfg.W <= 0 || cfg.H <= 0 {
+			return nil, fmt.Errorf("pgen: die size %dx%d must be positive", cfg.W, cfg.H)
+		}
+		if cfg.W > s.cfg.MaxDesignSize || cfg.H > s.cfg.MaxDesignSize {
+			return nil, fmt.Errorf("pgen: die size %dx%d exceeds limit %d", cfg.W, cfg.H, s.cfg.MaxDesignSize)
+		}
+		if cfg.VDD == 0 {
+			base := pgen.DefaultConfig(cfg.Name, cfg.Class, cfg.W, cfg.H, cfg.Seed)
+			base.Name = cfg.Name
+			if cfg.Layers != nil {
+				base.Layers = cfg.Layers
+			}
+			cfg = base
+		}
+		d, err := pgen.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("pgen: %w", err)
+		}
+		return d, nil
+	}
+
+	nl, err := spice.ParseString(req.Spice)
+	if err != nil {
+		return nil, err
+	}
+	if len(nl.Elements) == 0 {
+		return nil, errors.New("spice: deck has no elements")
+	}
+	size := inferDieSize(nl)
+	if size <= 0 {
+		size = req.Resolution
+	}
+	if size <= 0 {
+		return nil, errors.New("spice: cannot infer die size from node names; set \"resolution\"")
+	}
+	if size > s.cfg.MaxDesignSize {
+		return nil, fmt.Errorf("spice: die size %d exceeds limit %d", size, s.cfg.MaxDesignSize)
+	}
+	return &pgen.Design{
+		Name: "request", W: size, H: size,
+		VDD:     padVoltage(nl),
+		Netlist: nl,
+	}, nil
+}
+
+// inferDieSize derives the die extent (µm == pixels) from structured
+// node names, mirroring the CLI's behaviour.
+func inferDieSize(nl *spice.Netlist) int {
+	max := -1
+	for _, e := range nl.Elements {
+		for _, name := range [2]string{e.NodeA, e.NodeB} {
+			n, err := spice.ParseNode(name)
+			if err != nil {
+				continue
+			}
+			if n.X > max {
+				max = n.X
+			}
+			if n.Y > max {
+				max = n.Y
+			}
+		}
+	}
+	return max + 1
+}
+
+// padVoltage returns the first V-card voltage (the VDD rail).
+func padVoltage(nl *spice.Netlist) float64 {
+	for _, e := range nl.Elements {
+		if e.Type == spice.VoltageSource {
+			return e.Value
+		}
+	}
+	return 0
+}
+
+// runJob executes one admitted job on a worker goroutine, with a
+// per-job obs.Recorder bound into the job context so concurrent jobs
+// produce isolated run manifests.
+func (s *Server) runJob(j *Job) {
+	if j.cancelled.Load() || !j.markRunning() {
+		return // cancelled while queued; already finalized
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer j.cancel() // release the context's timer resources
+
+	rec := obs.NewRecorder()
+	rec.Add("serve.job", 1)
+	ctx := obs.WithRecorder(j.ctx, rec)
+
+	result, err := s.execute(ctx, j)
+	manifest := rec.Manifest("serve.analyze", map[string]any{
+		"mode":    j.req.Mode,
+		"iters":   j.req.Iters,
+		"precond": j.req.Precond,
+		"design":  j.design.Name,
+	})
+	if !j.req.OmitManifest {
+		if result == nil {
+			result = &AnalyzeResult{Mode: j.req.Mode, Design: j.design.Name}
+		}
+		result.Manifest = manifest
+	}
+
+	switch {
+	case err == nil:
+		cDone.Inc()
+		j.finalize(StatusDone, "", result)
+	case j.cancelled.Load():
+		cCancelled.Inc()
+		j.finalize(StatusCancelled, err.Error(), result)
+	default:
+		cFailed.Inc()
+		msg := err.Error()
+		if errors.Is(err, context.DeadlineExceeded) {
+			msg = fmt.Sprintf("deadline exceeded: %v", err)
+		}
+		j.finalize(StatusFailed, msg, result)
+	}
+}
+
+// execute runs the analysis of one job under ctx. On cancellation the
+// returned error wraps solver.ErrCancelled and the result is nil (the
+// caller still attaches the manifest with the partial history).
+func (s *Server) execute(ctx context.Context, j *Job) (*AnalyzeResult, error) {
+	req, d := &j.req, j.design
+	if req.Mode == ModeFused {
+		return s.executeFused(ctx, req, d)
+	}
+	res := req.Resolution
+	if res == 0 {
+		res = d.W
+	}
+	na := &core.NumericalAnalyzer{Iters: req.Iters, Resolution: res, Precond: req.Precond}
+	m, rt, resid, err := na.AnalyzeCtx(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	out := newResult(req, d, m, rt.Seconds())
+	out.Residual = resid
+	return out, nil
+}
+
+// executeFused runs the fused numerical+ML pipeline. The numerical
+// stage runs concurrently across jobs; inference on the shared model
+// instance is serialized by s.mlMu.
+func (s *Server) executeFused(ctx context.Context, req *AnalyzeRequest, d *pgen.Design) (*AnalyzeResult, error) {
+	al := s.cfg.Analyzer
+	cfg := al.Config
+	if req.Iters > 0 {
+		cfg.RoughIters = req.Iters
+	}
+	sample, err := dataset.BuildCtx(ctx, d, cfg.DatasetOptions())
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w before inference: %w", solver.ErrCancelled, err)
+	}
+	start := time.Now()
+	s.mlMu.Lock()
+	pred := al.PredictCtx(ctx, sample)
+	s.mlMu.Unlock()
+	rt := sample.NumericalTime + time.Since(start)
+	return newResult(req, d, pred, rt.Seconds()), nil
+}
+
+// newResult summarizes a predicted map into the response payload.
+func newResult(req *AnalyzeRequest, d *pgen.Design, m *grid.Map, seconds float64) *AnalyzeResult {
+	y, x := m.ArgMax()
+	out := &AnalyzeResult{
+		Design:         d.Name,
+		Mode:           req.Mode,
+		Resolution:     m.W,
+		MaxDropVolts:   m.Max(),
+		MeanDropVolts:  m.Mean(),
+		HotspotYX:      &[2]int{y, x},
+		RuntimeSeconds: seconds,
+	}
+	if req.IncludeMap {
+		out.Map = m.Data
+	}
+	return out
+}

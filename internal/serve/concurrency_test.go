@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"irfusion/internal/pgen"
+)
+
+// genDeck generates a synthetic design and returns its SPICE text.
+func genDeck(t *testing.T, size int, seed int64) string {
+	t.Helper()
+	d, err := pgen.Generate(pgen.DefaultConfig("deck", pgen.Fake, size, size, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Netlist.String()
+}
+
+// TestConcurrentRequestsNoManifestCrossTalk hammers the handler with
+// concurrent synchronous requests, each of which runs under its own
+// obs.Recorder bound to the job context. Every response's manifest
+// must contain exactly the records of its own analysis — one labeled
+// solve, one run of each numerical stage — or recorders are leaking
+// across requests.
+func TestConcurrentRequestsNoManifestCrossTalk(t *testing.T) {
+	const n = 16
+	_, ts := newTestServer(t, Config{Workers: n, QueueDepth: 2 * n})
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			iters := 2 + int(seed%5) // distinct budgets to tell runs apart
+			body := pgenBody(seed, 32, fmt.Sprintf(`"iters": %d, "precond": "ssor"`, iters))
+			code, b := post(t, ts, "/v1/analyze", body)
+			if code != http.StatusOK {
+				errs <- fmt.Errorf("seed %d: status %d: %s", seed, code, b)
+				return
+			}
+			v := decodeJob(t, b)
+			if v.Status != StatusDone {
+				errs <- fmt.Errorf("seed %d: status %q: %s", seed, v.Status, v.Error)
+				return
+			}
+			m := v.Result.Manifest
+			if m == nil {
+				errs <- fmt.Errorf("seed %d: no manifest", seed)
+				return
+			}
+			if err := m.Validate(); err != nil {
+				errs <- fmt.Errorf("seed %d: %w", seed, err)
+				return
+			}
+			if len(m.Solves) != 1 || m.Solves[0].Label != "numerical" {
+				errs <- fmt.Errorf("seed %d: cross-talk: %d solves %+v", seed, len(m.Solves), m.Solves)
+				return
+			}
+			if got := m.Solves[0].Iterations; got != iters {
+				errs <- fmt.Errorf("seed %d: solve ran %d iterations, want its own budget %d", seed, got, iters)
+				return
+			}
+			if m.Counters["serve.job"] != 1 {
+				errs <- fmt.Errorf("seed %d: serve.job counter %d, want 1", seed, m.Counters["serve.job"])
+				return
+			}
+			for _, st := range m.Stages {
+				if st.Count != 1 {
+					errs <- fmt.Errorf("seed %d: cross-talk: stage %s ran %d times", seed, st.Name, st.Count)
+					return
+				}
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSixteenConcurrentInFlight verifies the service actually holds
+// ≥16 analyses in flight at once: 16 workers each pick up a
+// long-running budgeted solve, the test observes in-flight == 16,
+// then cancels everything and checks each job stopped mid-solve.
+func TestSixteenConcurrentInFlight(t *testing.T) {
+	const n = 16
+	s, ts := newTestServer(t, Config{Workers: n, QueueDepth: 2 * n})
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		// Same seed for every job: solve duration is strongly
+		// seed-dependent, and this test needs all 16 still in flight
+		// when the cancellations land. Job identity comes from the id,
+		// not the design.
+		code, b := post(t, ts, "/v1/analyze", slowBody(5))
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d: status %d: %s", i, code, b)
+		}
+		ids = append(ids, decodeJob(t, b).ID)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for s.InFlight() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d jobs in flight", s.InFlight(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// All n are executing concurrently; let the solves accumulate a
+	// few iterations, then cancel the lot.
+	time.Sleep(150 * time.Millisecond)
+	for _, id := range ids {
+		if code, b := del(t, ts, "/v1/jobs/"+id); code != http.StatusOK {
+			t.Fatalf("cancel %s: status %d: %s", id, code, b)
+		}
+	}
+	for _, id := range ids {
+		v := waitStatus(t, ts, id, Status.Terminal)
+		if v.Status != StatusCancelled {
+			t.Errorf("%s: status %q, want cancelled (error %q)", id, v.Status, v.Error)
+			continue
+		}
+		if v.Result == nil || v.Result.Manifest == nil || len(v.Result.Manifest.Solves) != 1 {
+			t.Errorf("%s: missing partial manifest", id)
+			continue
+		}
+		if it := v.Result.Manifest.Solves[0].Iterations; it >= maxIters {
+			t.Errorf("%s: ran the full budget, cancellation did not stop the loop", id)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"irfusion/internal/pgen"
+)
+
+// Status is the lifecycle state of a job.
+type Status string
+
+const (
+	// StatusQueued: accepted into the bounded queue, not yet picked up
+	// by a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning: a worker is executing the analysis.
+	StatusRunning Status = "running"
+	// StatusDone: finished successfully; Result is populated.
+	StatusDone Status = "done"
+	// StatusFailed: finished with an error (including timeouts).
+	StatusFailed Status = "failed"
+	// StatusCancelled: cancelled by DELETE /v1/jobs/{id}, a client
+	// disconnect on a synchronous request, or server shutdown before
+	// the job completed.
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Job is one queued analysis. All exported accessors are safe for
+// concurrent use; the JSON view is produced by Snapshot.
+type Job struct {
+	id        string
+	req       AnalyzeRequest
+	design    *pgen.Design
+	submitted time.Time
+
+	ctx       context.Context // job lifetime (timeout + server shutdown)
+	cancel    context.CancelFunc
+	done      chan struct{}
+	cancelled atomic.Bool // requested via Cancel (vs timeout/failure)
+
+	mu       sync.Mutex
+	status   Status
+	err      string
+	result   *AnalyzeResult
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal
+// status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns the current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Cancel requests cancellation: a queued job is finalized immediately
+// (the worker will skip it), a running job has its context cancelled
+// and finalizes when the solver notices. Cancelling a terminal job is
+// a no-op. It reports whether the cancellation request took effect.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelled.Store(true)
+	queued := j.status == StatusQueued
+	j.mu.Unlock()
+	if queued {
+		// Not yet started: finalize now; runJob skips cancelled jobs.
+		j.finalize(StatusCancelled, "cancelled before start", nil)
+	}
+	j.cancel()
+	return true
+}
+
+// markRunning transitions queued → running. It returns false when the
+// job was cancelled while waiting in the queue.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	return true
+}
+
+// finalize moves the job to a terminal status exactly once and closes
+// Done.
+func (j *Job) finalize(status Status, errMsg string, result *AnalyzeResult) {
+	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.status = status
+	j.err = errMsg
+	j.result = result
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// JobView is the JSON representation of a job returned by the API.
+type JobView struct {
+	ID          string         `json:"id"`
+	Status      Status         `json:"status"`
+	Error       string         `json:"error,omitempty"`
+	SubmittedAt time.Time      `json:"submitted_at"`
+	StartedAt   *time.Time     `json:"started_at,omitempty"`
+	FinishedAt  *time.Time     `json:"finished_at,omitempty"`
+	Result      *AnalyzeResult `json:"result,omitempty"`
+}
+
+// Snapshot returns a consistent JSON view of the job.
+func (j *Job) Snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.id,
+		Status:      j.status,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+		Result:      j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// registry tracks jobs by id with bounded retention: once more than
+// cap jobs are held, the oldest terminal jobs are evicted (live jobs
+// are never evicted, so a full registry of in-flight work simply grows
+// until jobs finish).
+type registry struct {
+	mu    sync.Mutex
+	next  int64
+	cap   int
+	jobs  map[string]*Job
+	order []string // insertion order for eviction
+}
+
+func newRegistry(capacity int) *registry {
+	return &registry{cap: capacity, jobs: make(map[string]*Job)}
+}
+
+// add registers a new job under a fresh id.
+func (r *registry) add(j *Job) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	id := fmt.Sprintf("job-%06d", r.next)
+	j.id = id
+	r.jobs[id] = j
+	r.order = append(r.order, id)
+	r.evictLocked()
+	return id
+}
+
+// get looks a job up by id.
+func (r *registry) get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// counts tallies jobs per status for /healthz.
+func (r *registry) counts() map[Status]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[Status]int, 5)
+	for _, j := range r.jobs {
+		out[j.Status()]++
+	}
+	return out
+}
+
+func (r *registry) evictLocked() {
+	for len(r.order) > r.cap {
+		evicted := false
+		for i, id := range r.order {
+			if j := r.jobs[id]; j != nil && j.Status().Terminal() {
+				delete(r.jobs, id)
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is live
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package serve is the long-lived analysis service of the repository:
+// an HTTP JSON API (stdlib net/http only) that turns the one-shot
+// analysis pipeline into a request-serving system. It exposes
+//
+//	POST   /v1/analyze    SPICE netlist or pgen-config body → IR-drop
+//	                      map (numerical or fused mode), synchronous by
+//	                      default, asynchronous with "async": true
+//	GET    /v1/jobs/{id}  status/result of an async submission
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /healthz       liveness + queue/worker occupancy
+//	GET    /metricsz      obs global counters and serve gauges as JSON
+//
+// Requests are admitted into a bounded job queue executed by a fixed
+// set of workers; the numerical kernels of every worker share the
+// process-wide internal/parallel pool, so worker concurrency controls
+// how many analyses are in flight while the pool controls how many
+// CPUs each one uses. Each job runs under a context.Context carrying
+// its own obs.Recorder: cancellation (client disconnect, DELETE, or
+// per-request timeout) stops the PCG iteration loop mid-solve via
+// solver.PCGCtx, and the per-request run manifest — including the
+// partial residual history of a cancelled solve — is attached to the
+// job result. Shutdown drains in-flight solves before returning.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"irfusion/internal/core"
+	"irfusion/internal/obs"
+	"irfusion/internal/parallel"
+)
+
+// Service-level counters, registered in the process-global obs
+// registry so they surface in /metricsz, the expvar debug endpoint,
+// and any session manifest.
+var (
+	cRequests  = obs.GlobalCounter("serve.http.requests")
+	cSubmitted = obs.GlobalCounter("serve.jobs.submitted")
+	cDone      = obs.GlobalCounter("serve.jobs.done")
+	cFailed    = obs.GlobalCounter("serve.jobs.failed")
+	cCancelled = obs.GlobalCounter("serve.jobs.cancelled")
+	cRejected  = obs.GlobalCounter("serve.jobs.rejected")
+)
+
+// Config sizes the service. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the number of job-queue workers — the number of
+	// analyses in flight at once. Each analysis additionally fans its
+	// numerical kernels out on the shared internal/parallel pool.
+	// Default 2.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected with 503. Default 16.
+	QueueDepth int
+	// MaxBodyBytes is the request-body admission limit enforced with
+	// http.MaxBytesReader. Default 8 MiB.
+	MaxBodyBytes int64
+	// MaxDesignSize caps the die size (and raster resolution) a
+	// request may ask for, bounding per-job memory and CPU. Default
+	// 256.
+	MaxDesignSize int
+	// DefaultTimeout bounds each job's context when the request does
+	// not set timeout_ms. Zero means no default timeout.
+	DefaultTimeout time.Duration
+	// MaxJobs bounds the job registry; the oldest finished jobs are
+	// evicted beyond it. Default 256.
+	MaxJobs int
+	// Analyzer, when non-nil, enables "fused" mode with this trained
+	// pipeline. The model instance is shared, so the ML inference
+	// stage is serialized across jobs (the numerical stage is not).
+	Analyzer *core.Analyzer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxDesignSize <= 0 {
+		c.MaxDesignSize = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	return c
+}
+
+// Server is the analysis service. Construct with New, mount Handler
+// on an http.Server (or use httptest in tests), and stop with Close.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *Job
+	reg   *registry
+	start time.Time
+
+	baseCtx    context.Context // parent of every job context
+	baseCancel context.CancelFunc
+
+	mlMu sync.Mutex // serializes fused-model inference
+
+	submitMu sync.Mutex // guards queue sends against Close
+	draining bool
+
+	inflight atomic.Int64
+	workers  sync.WaitGroup
+}
+
+// New starts the worker goroutines and returns a ready service.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		reg:        newRegistry(cfg.MaxJobs),
+		start:      time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.routes()
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler tree of the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers returns the configured worker concurrency.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// InFlight returns the number of jobs currently executing.
+func (s *Server) InFlight() int { return int(s.inflight.Load()) }
+
+// worker drains the job queue until Close closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// submit admits a job into the bounded queue. It returns false when
+// the queue is full or the server is draining — the caller answers
+// 503 in both cases.
+func (s *Server) submit(j *Job) bool {
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+	if s.draining {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		cSubmitted.Inc()
+		return true
+	default:
+		return false
+	}
+}
+
+// Close gracefully shuts the service down: new submissions are
+// rejected immediately, queued and in-flight jobs are drained, and
+// the call returns when every worker has exited. If ctx expires
+// first, all remaining job contexts are cancelled — the solver loops
+// notice within one iteration — and Close waits for the (now fast)
+// drain to finish before returning ctx.Err().
+func (s *Server) Close(ctx context.Context) error {
+	s.submitMu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.submitMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // force-cancel in-flight solves
+		<-done
+		return ctx.Err()
+	}
+}
+
+// pool exposes the shared worker pool for /healthz reporting.
+func (s *Server) poolInfo() (workers, minWork int) {
+	p := parallel.Default()
+	return p.Workers(), p.MinWork()
+}

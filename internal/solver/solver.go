@@ -6,7 +6,9 @@
 package solver
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"time"
 
@@ -98,6 +100,18 @@ type Result struct {
 // preconditioner (non-positive curvature or inner product).
 var ErrIndefinite = errors.New("solver: operator or preconditioner not positive definite")
 
+// ErrCancelled is returned (wrapped around the context's error, so
+// errors.Is matches both) when a context-aware solve is cancelled or
+// times out mid-iteration. The accompanying Result is a valid partial
+// outcome: iterations completed so far, the last relative residual,
+// and the recorded residual history up to the cancellation point.
+var ErrCancelled = errors.New("solver: solve cancelled")
+
+// ErrBreakdown is returned when an inner product or the residual norm
+// becomes non-finite (overflow or NaN), which a budgeted Tol=0 solve
+// can reach when pushed far past machine precision.
+var ErrBreakdown = errors.New("solver: numerical breakdown (non-finite value)")
+
 // PCG solves A·x = b with preconditioned conjugate gradients. x holds
 // the initial guess on entry and the solution on return.
 //
@@ -110,8 +124,22 @@ var ErrIndefinite = errors.New("solver: operator or preconditioner not positive 
 // When a run recorder is active (obs.Active), the outcome — iteration
 // count, wall time, final residual, and the recorded history — is
 // reported as a SolveRecord under opts.Label.
-func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (res Result, err error) {
-	if rec := obs.Active(); rec != nil {
+func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (Result, error) {
+	return PCGCtx(context.Background(), a, x, b, m, opts)
+}
+
+// PCGCtx is PCG with cooperative cancellation: the iteration loop
+// checks ctx before every iteration and stops early — returning the
+// partial Result wrapped in ErrCancelled — when the context is
+// cancelled or its deadline passes. The solve record (including the
+// partial residual history) is still reported to the run recorder, so
+// a cancelled request's manifest shows how far the solve got.
+//
+// The recorder is resolved with obs.ActiveOr(ctx): a recorder bound to
+// ctx via obs.WithRecorder isolates this solve's records from
+// concurrent solves; without one the process-global recorder is used.
+func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (res Result, err error) {
+	if rec := obs.ActiveOr(ctx); rec != nil {
 		label := opts.Label
 		if label == "" {
 			label = "pcg"
@@ -166,7 +194,7 @@ func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (res Res
 	if opts.Record {
 		res.History = append(res.History, rel)
 	}
-	if opts.Tol > 0 && rel < opts.Tol {
+	if rel == 0 || (opts.Tol > 0 && rel < opts.Tol) {
 		res.Converged = true
 		res.Residual = rel
 		return res, nil
@@ -175,14 +203,39 @@ func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (res Res
 	m.Apply(z, r)
 	copy(p, z)
 	rz := sparse.Dot(r, z)
+	if math.IsNaN(rz) || math.IsInf(rz, 0) {
+		return res, ErrBreakdown
+	}
 	if rz <= 0 {
+		if rz == 0 {
+			// r·M⁻¹r underflowed to exact zero: the residual is solved
+			// to beyond machine precision. Converged, not indefinite.
+			res.Converged = true
+			res.Residual = rel
+			return res, nil
+		}
 		return res, ErrIndefinite
 	}
 
 	for k := 0; k < opts.MaxIter; k++ {
+		if cerr := ctx.Err(); cerr != nil {
+			res.Residual = rel
+			return res, fmt.Errorf("%w after %d iterations: %w", ErrCancelled, res.Iterations, cerr)
+		}
 		a.MulVec(ap, p)
 		pap := sparse.Dot(p, ap)
+		if math.IsNaN(pap) || math.IsInf(pap, 0) {
+			return res, ErrBreakdown
+		}
 		if pap <= 0 {
+			if pap == 0 {
+				// Search-direction curvature underflowed to zero: no
+				// further progress is representable. Treat as converged
+				// at the current (sub-machine-precision) residual.
+				res.Converged = true
+				res.Residual = rel
+				return res, nil
+			}
 			return res, ErrIndefinite
 		}
 		alpha := rz / pap
@@ -195,6 +248,10 @@ func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (res Res
 		res.Iterations = k + 1
 
 		rel = sparse.Norm2(r) / bn
+		if math.IsNaN(rel) || math.IsInf(rel, 0) {
+			res.Residual = rel
+			return res, ErrBreakdown
+		}
 		if opts.Record {
 			res.History = append(res.History, rel)
 		}
@@ -230,7 +287,16 @@ func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (res Res
 				p[i] = z[i] + beta*p[i]
 			}
 		})
+		if math.IsNaN(rzNew) || math.IsInf(rzNew, 0) {
+			return res, ErrBreakdown
+		}
 		if rzNew <= 0 {
+			if rzNew == 0 {
+				// Same underflow situation as above: the preconditioned
+				// residual vanished at machine scale.
+				res.Converged = true
+				break
+			}
 			return res, ErrIndefinite
 		}
 		rz = rzNew
