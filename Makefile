@@ -8,7 +8,7 @@ GO ?= go
 # machines and miniature test grids.
 RACE_ENV = IRFUSION_WORKERS=4 IRFUSION_PAR_THRESHOLD=1
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke manifest-smoke fuzz-smoke cover-check
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke manifest-smoke fuzz-smoke chaos-smoke cover-check
 
 all: fmt-check vet build test
 
@@ -44,6 +44,19 @@ MANIFEST_OUT ?= /tmp/irfusion-manifest.json
 manifest-smoke: ## end-to-end analyze run; fails when the run manifest is missing required signals
 	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -manifest $(MANIFEST_OUT)
 	$(GO) run ./cmd/manifestcheck $(MANIFEST_OUT)
+
+# The chaos profile kills every AMG-rung PCG solve with a numerical
+# breakdown. The suite must stay green — the degradation ladder absorbs
+# the fault by falling to SSOR-PCG — and the analyze run must produce a
+# manifest whose degradation trail proves the fault actually bit
+# (manifestcheck -degraded).
+CHAOS_SPEC ?= solver.pcg:breakdown:label=numerical.amg
+CHAOS_MANIFEST ?= /tmp/irfusion-chaos-manifest.json
+
+chaos-smoke: ## full test suite + end-to-end analyze under an injected mid-ladder failure
+	IRFUSION_FAULTS='$(CHAOS_SPEC)' $(GO) test ./...
+	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -faults '$(CHAOS_SPEC)' -manifest $(CHAOS_MANIFEST)
+	$(GO) run ./cmd/manifestcheck -degraded $(CHAOS_MANIFEST)
 
 FUZZTIME ?= 30s
 

@@ -33,8 +33,12 @@ func cmdAnalyze(args []string) error {
 	modelFile := fs.String("model-file", "", "trained checkpoint: run the fused numerical+ML pipeline")
 	pgm := fs.String("pgm", "", "write the drop map as PGM")
 	resFlag := fs.Int("res", 0, "raster resolution (default: die size or model resolution)")
+	faultSpec := addFaultsFlag(fs)
 	of := addObsFlags(fs)
 	fs.Parse(args)
+	if err := applyFaults(*faultSpec); err != nil {
+		return err
+	}
 
 	// Resolve the design: parse a deck or generate one.
 	var d *pgen.Design

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"flag"
+	"log"
+	"strings"
+
+	"irfusion/internal/faults"
+)
+
+// addFaultsFlag registers -faults on a subcommand's flag set. The flag
+// carries the same spec grammar as the IRFUSION_FAULTS environment
+// variable (see internal/faults and docs/RESILIENCE.md) and, when set,
+// replaces whatever the environment installed — so one invocation can
+// rehearse a failure without exporting anything.
+func addFaultsFlag(fs *flag.FlagSet) *string {
+	return fs.String("faults", "",
+		"fault-injection spec, e.g. 'amg.setup:fail' (overrides "+faults.EnvVar+"; see docs/RESILIENCE.md)")
+}
+
+// applyFaults installs the -faults spec as the process-global injector
+// and logs the active spec — whether it came from the flag or from the
+// environment — so a chaos run is always visible in the serve log.
+func applyFaults(spec string) error {
+	if strings.TrimSpace(spec) != "" {
+		in, err := faults.Parse(spec)
+		if err != nil {
+			return err
+		}
+		faults.SetActive(in)
+	}
+	if sp := faults.Active().Spec(); sp != "" {
+		log.Printf("fault injection active: %s", sp)
+	}
+	return nil
+}

@@ -19,7 +19,9 @@
 // solve, analyze, train, and predict accept -manifest FILE to write a
 // structured run manifest (stage timings, convergence traces, pool
 // utilization) and -debug-addr ADDR to serve live expvar counters and
-// pprof profiles during the run.
+// pprof profiles during the run. analyze and serve additionally accept
+// -faults SPEC to install a fault-injection profile (same grammar as
+// IRFUSION_FAULTS; see internal/faults) for degradation rehearsals.
 package main
 
 import (
@@ -89,7 +91,9 @@ commands:
   predict  fused numerical+ML IR-drop prediction
   models   list registered model architectures
 
-solve, analyze, serve, train, and predict also take -manifest FILE and -debug-addr ADDR.`)
+solve, analyze, serve, train, and predict also take -manifest FILE and -debug-addr ADDR.
+analyze and serve also take -faults SPEC to inject failures and rehearse the
+degradation ladder (see docs/RESILIENCE.md).`)
 }
 
 func cmdGen(args []string) error {

@@ -36,8 +36,12 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 2*time.Minute, "default per-request timeout (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight solves")
 	modelFile := fs.String("model-file", "", "trained checkpoint enabling fused mode")
+	faultSpec := addFaultsFlag(fs)
 	of := addObsFlags(fs)
 	fs.Parse(args)
+	if err := applyFaults(*faultSpec); err != nil {
+		return err
+	}
 
 	cfg := serve.Config{
 		Workers:        *workers,

@@ -2,15 +2,22 @@
 // the JSON file, checks it against the manifest schema
 // (obs.Manifest.Validate), and enforces the invariants the CI smoke
 // test relies on — at least one solve with a positive iteration count
-// and a non-empty residual history, and at least one worker-pool
-// dispatch counter. Exit status is non-zero on any violation, making
-// it usable as a CI gate:
+// and a non-empty residual history, at least one worker-pool dispatch
+// counter, and internally consistent degradation records. Exit status
+// is non-zero on any violation, making it usable as a CI gate:
 //
 //	irfusion analyze -size 48 -manifest run.json
 //	manifestcheck run.json
+//
+// With -degraded the check additionally requires at least one
+// degradation record that reports an actual fallback, retry, or
+// breaker skip — the gate of the chaos-smoke CI job, which runs the
+// pipeline under an injected fault profile and must prove the ladder
+// really degraded rather than silently sailing through.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -21,17 +28,25 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck <manifest.json>")
+	degraded := flag.Bool("degraded", false,
+		"require at least one degradation record showing a fallback, retry, or breaker skip")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-degraded] <manifest.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	if err := check(os.Args[1]); err != nil {
-		log.Fatalf("manifestcheck: %s: %v", os.Args[1], err)
+	path := flag.Arg(0)
+	if err := check(path, *degraded); err != nil {
+		log.Fatalf("manifestcheck: %s: %v", path, err)
 	}
-	log.Printf("%s: ok", os.Args[1])
+	log.Printf("%s: ok", path)
 }
 
-func check(path string) error {
+func check(path string, wantDegraded bool) error {
 	m, err := obs.ReadManifestFile(path)
 	if err != nil {
 		return err
@@ -62,6 +77,57 @@ func check(path string) error {
 	}
 	if dispatches <= 0 {
 		return fmt.Errorf("no parallel.* dispatch counters recorded")
+	}
+
+	if err := checkDegradations(m); err != nil {
+		return err
+	}
+	if wantDegraded {
+		any := false
+		for i := range m.Degradations {
+			if m.Degradations[i].Degraded() {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return fmt.Errorf("-degraded: no degradation record shows a fallback, retry, or skip (%d records present) — the chaos profile did not bite", len(m.Degradations))
+		}
+	}
+	return nil
+}
+
+// checkDegradations enforces the attempt-trail invariants beyond the
+// structural ones obs.Manifest.Validate covers: every record carries
+// its trail, attempts name their rung, skipped attempts carry no
+// per-rung attempt count, and a record that served names a rung that
+// actually appears in its trail.
+func checkDegradations(m *obs.Manifest) error {
+	for i, d := range m.Degradations {
+		if len(d.Attempts) == 0 {
+			return fmt.Errorf("degradation[%d] (%s): no attempt trail", i, d.Component)
+		}
+		served := d.Rung == ""
+		for j, a := range d.Attempts {
+			if a.Rung == "" {
+				return fmt.Errorf("degradation[%d] (%s): attempt %d names no rung", i, d.Component, j)
+			}
+			if a.Skipped != "" && a.Error != "" {
+				return fmt.Errorf("degradation[%d] (%s): attempt %d both skipped (%q) and errored (%q)",
+					i, d.Component, j, a.Skipped, a.Error)
+			}
+			if a.Skipped == "" && a.Attempt < 1 {
+				return fmt.Errorf("degradation[%d] (%s): attempt %d has attempt number %d",
+					i, d.Component, j, a.Attempt)
+			}
+			if a.Rung == d.Rung {
+				served = true
+			}
+		}
+		if !served {
+			return fmt.Errorf("degradation[%d] (%s): serving rung %q never appears in the attempt trail",
+				i, d.Component, d.Rung)
+		}
 	}
 	return nil
 }

@@ -12,10 +12,12 @@
 package amg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"irfusion/internal/faults"
 	"irfusion/internal/obs"
 	"irfusion/internal/parallel"
 	"irfusion/internal/sparse"
@@ -130,12 +132,30 @@ type Hierarchy struct {
 // ErrEmptyMatrix is returned when Build receives a 0×0 matrix.
 var ErrEmptyMatrix = errors.New("amg: empty matrix")
 
+// ErrSetup wraps every hierarchy-construction failure (including
+// injected ones), so callers can classify "the AMG backend is
+// unavailable" with errors.Is and fall back to a cheaper
+// preconditioner (see the degradation ladder in internal/core).
+var ErrSetup = errors.New("amg: setup failed")
+
 // Build runs the setup stage: recursive pairwise aggregation and
 // Galerkin coarse-operator construction, stopping at MaxCoarse where
 // a dense Cholesky factorization is prepared.
 func Build(a *sparse.CSR, opts Options) (*Hierarchy, error) {
+	return BuildCtx(context.Background(), a, opts)
+}
+
+// BuildCtx is Build with context plumbing for the fault-injection
+// harness: an injector resolved from ctx (or the process-global one)
+// may fail the setup on demand (site faults.SiteAMGSetup), which
+// surfaces as an error wrapping ErrSetup exactly like a real
+// construction failure would.
+func BuildCtx(ctx context.Context, a *sparse.CSR, opts Options) (*Hierarchy, error) {
 	st := obs.Active().StartStage("amg.setup")
 	defer st.End()
+	if f := faults.ActiveOr(ctx).Fire(faults.SiteAMGSetup, ""); f != nil && f.Action == faults.ActFail {
+		return nil, fmt.Errorf("%w: %w", ErrSetup, f.Error())
+	}
 	if a.Rows() == 0 {
 		return nil, ErrEmptyMatrix
 	}
@@ -175,7 +195,7 @@ func Build(a *sparse.CSR, opts Options) (*Hierarchy, error) {
 	last := h.Levels[len(h.Levels)-1].A
 	chol, err := sparse.NewDenseCholesky(last.Dense(), last.Rows())
 	if err != nil {
-		return nil, fmt.Errorf("amg: coarsest-level factorization: %w", err)
+		return nil, fmt.Errorf("%w: coarsest-level factorization: %w", ErrSetup, err)
 	}
 	h.coarse = chol
 	// Allocate workspace.

@@ -1,0 +1,225 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"irfusion/internal/spice"
+)
+
+// Deck validation: a pre-solve linter over the raw netlist. The
+// assembly path (FromNetlist/Assemble) fails fast on the first
+// malformed element, and deeper pathologies — no pads, floating
+// nodes — only used to surface mid-solve as solver.ErrIndefinite.
+// ValidateNetlist instead collects *every* problem up front into a
+// structured DeckError, which the serving layer maps to a 400 with a
+// machine-readable issue list instead of a cryptic 500.
+
+// Deck-issue codes. Stable strings — clients and tests match on them.
+const (
+	IssueNoPads         = "no-pads"
+	IssueZeroPad        = "zero-pad-voltage"
+	IssuePadMismatch    = "pad-voltage-mismatch"
+	IssueBadResistance  = "nonpositive-resistance"
+	IssueGroundResistor = "resistor-touches-ground"
+	IssueUngroundedSrc  = "ungrounded-source"
+	IssueNegativeCap    = "negative-capacitance"
+	IssueShortedCap     = "capacitor-shorted"
+	IssueFloatingNode   = "floating-node"
+	IssueNoElements     = "empty-deck"
+)
+
+// DeckIssue is one validation finding.
+type DeckIssue struct {
+	Code    string `json:"code"`
+	Element string `json:"element,omitempty"` // offending element name
+	Node    string `json:"node,omitempty"`    // offending node name
+	Detail  string `json:"detail"`
+}
+
+// DeckError aggregates every issue found in a deck. It implements
+// error; errors.As extracts it for structured rendering.
+type DeckError struct {
+	Issues []DeckIssue `json:"issues"`
+}
+
+func (e *DeckError) Error() string {
+	if len(e.Issues) == 0 {
+		return "circuit: invalid deck"
+	}
+	parts := make([]string, 0, len(e.Issues))
+	for _, is := range e.Issues {
+		parts = append(parts, is.Code+": "+is.Detail)
+	}
+	n := ""
+	if len(parts) > 1 {
+		n = fmt.Sprintf(" (and %d more)", len(parts)-1)
+	}
+	return "circuit: invalid deck: " + parts[0] + n
+}
+
+// maxFloatingReported caps the floating-node findings per deck so a
+// detached region of thousands of nodes doesn't flood the response.
+const maxFloatingReported = 5
+
+// ValidateNetlist lints a parsed deck before any matrix is stamped,
+// collecting every finding: malformed elements (ground-touching or
+// non-positive resistors, ungrounded sources, bad capacitors), pad
+// problems (none, non-positive voltage, disagreeing voltages), and
+// connectivity (nodes with no resistive path to any pad, i.e. a
+// singular reduced system). Returns nil when the deck is clean;
+// otherwise a *DeckError listing all issues.
+func ValidateNetlist(nl *spice.Netlist) error {
+	var issues []DeckIssue
+	add := func(code, element, node, detail string) {
+		issues = append(issues, DeckIssue{Code: code, Element: element, Node: node, Detail: detail})
+	}
+	if len(nl.Elements) == 0 {
+		add(IssueNoElements, "", "", "deck has no elements")
+		return &DeckError{Issues: issues}
+	}
+
+	// Node interning over the well-formed subset, mirroring
+	// FromNetlist but never bailing out.
+	names := map[string]int{}
+	var nodes []string
+	intern := func(name string) int {
+		if idx, ok := names[name]; ok {
+			return idx
+		}
+		idx := len(nodes)
+		names[name] = idx
+		nodes = append(nodes, name)
+		return idx
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	var padNodes []int
+	var padVolts []float64
+
+	for _, e := range nl.Elements {
+		switch e.Type {
+		case spice.Resistor:
+			bad := false
+			if e.NodeA == spice.Ground || e.NodeB == spice.Ground {
+				add(IssueGroundResistor, e.Name, "", fmt.Sprintf("resistor %s touches ground", e.Name))
+				bad = true
+			}
+			if e.Value <= 0 {
+				add(IssueBadResistance, e.Name, "", fmt.Sprintf("resistor %s has non-positive value %g", e.Name, e.Value))
+				bad = true
+			}
+			if bad {
+				continue
+			}
+			a, b := intern(e.NodeA), intern(e.NodeB)
+			if a != b {
+				edges = append(edges, edge{a, b})
+			}
+		case spice.CurrentSource:
+			if _, err := gndPartner(e); err != nil {
+				add(IssueUngroundedSrc, e.Name, "", fmt.Sprintf("current source %s must connect one node to ground", e.Name))
+				continue
+			}
+			node, _ := gndPartner(e)
+			intern(node)
+		case spice.VoltageSource:
+			node, err := gndPartner(e)
+			if err != nil {
+				add(IssueUngroundedSrc, e.Name, "", fmt.Sprintf("voltage source %s must connect one node to ground", e.Name))
+				continue
+			}
+			if e.Value <= 0 {
+				add(IssueZeroPad, e.Name, node, fmt.Sprintf("pad %s at non-positive voltage %g", e.Name, e.Value))
+				continue
+			}
+			padNodes = append(padNodes, intern(node))
+			padVolts = append(padVolts, e.Value)
+		case spice.Capacitor:
+			if e.Value < 0 {
+				add(IssueNegativeCap, e.Name, "", fmt.Sprintf("capacitor %s has negative value %g", e.Name, e.Value))
+			}
+			if e.NodeA == spice.Ground && e.NodeB == spice.Ground {
+				add(IssueShortedCap, e.Name, "", fmt.Sprintf("capacitor %s shorted to ground", e.Name))
+			}
+		}
+	}
+
+	if len(padNodes) == 0 {
+		add(IssueNoPads, "", "", "deck has no power pads (grounded voltage sources at positive voltage)")
+	} else {
+		vdd := padVolts[0]
+		for i, v := range padVolts[1:] {
+			if v != vdd {
+				add(IssuePadMismatch, "", nodes[padNodes[i+1]],
+					fmt.Sprintf("pads at different voltages (%g vs %g)", v, vdd))
+				break
+			}
+		}
+		// Connectivity: BFS from the pads over well-formed resistors.
+		// Unreached nodes make the reduced MNA system singular — the
+		// failure that otherwise surfaces mid-solve as ErrIndefinite.
+		adj := make([][]int, len(nodes))
+		for _, ed := range edges {
+			adj[ed.a] = append(adj[ed.a], ed.b)
+			adj[ed.b] = append(adj[ed.b], ed.a)
+		}
+		visited := make([]bool, len(nodes))
+		queue := make([]int, 0, len(nodes))
+		for _, p := range padNodes {
+			if !visited[p] {
+				visited[p] = true
+				queue = append(queue, p)
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, o := range adj[v] {
+				if !visited[o] {
+					visited[o] = true
+					queue = append(queue, o)
+				}
+			}
+		}
+		floating := 0
+		for i := range nodes {
+			if visited[i] {
+				continue
+			}
+			floating++
+			if floating <= maxFloatingReported {
+				add(IssueFloatingNode, "", nodes[i],
+					fmt.Sprintf("node %s has no resistive path to any pad", nodes[i]))
+			}
+		}
+		if floating > maxFloatingReported {
+			add(IssueFloatingNode, "", "",
+				fmt.Sprintf("%d further nodes have no resistive path to any pad", floating-maxFloatingReported))
+		}
+	}
+
+	if len(issues) == 0 {
+		return nil
+	}
+	return &DeckError{Issues: issues}
+}
+
+// Codes returns the distinct issue codes in order of first
+// appearance, a convenience for tests and log lines.
+func (e *DeckError) Codes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, is := range e.Issues {
+		if !seen[is.Code] {
+			seen[is.Code] = true
+			out = append(out, is.Code)
+		}
+	}
+	return out
+}
+
+// Summary renders a compact one-line listing of the issue codes.
+func (e *DeckError) Summary() string {
+	return strings.Join(e.Codes(), ",")
+}

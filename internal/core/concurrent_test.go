@@ -46,7 +46,7 @@ func TestConcurrentNumericalAnalyzeManifestIsolation(t *testing.T) {
 				errs <- fmt.Errorf("run %d: %w", i, err)
 				return
 			}
-			if len(m.Solves) != 1 || m.Solves[0].Label != "numerical" {
+			if len(m.Solves) != 1 || m.Solves[0].Label != RungSSOR {
 				errs <- fmt.Errorf("run %d: cross-talk: solves %+v", i, m.Solves)
 				return
 			}

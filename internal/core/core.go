@@ -17,6 +17,7 @@ import (
 	"irfusion/internal/amg"
 	"irfusion/internal/circuit"
 	"irfusion/internal/dataset"
+	"irfusion/internal/faults"
 	"irfusion/internal/features"
 	"irfusion/internal/grid"
 	"irfusion/internal/metrics"
@@ -133,6 +134,10 @@ type Analyzer struct {
 	Model       models.Model
 	Norm        *dataset.Normalizer
 	TargetScale float64
+	// Resilience tunes the rough-solve degradation ladder used by
+	// AnalyzeCtx (retries/backoff, shared circuit breakers). The zero
+	// value means defaults. Not serialized with the checkpoint.
+	Resilience ResilienceOptions
 }
 
 // Predict runs the ML stage on a prepared sample and returns the
@@ -181,14 +186,73 @@ func (a *Analyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, error) {
 // observability: the rough/golden solves stop early when ctx is
 // cancelled (solver.ErrCancelled), and all stage timers and solve
 // records report to the recorder bound to ctx, if any.
+//
+// The rough solve of the numerical stage runs on a degradation
+// ladder: the configured budgeted PCG first, the random-walk solver
+// when that fails, and finally a structure-only rung that leaves the
+// rough solution at zero — the fused inference then works from
+// structural features alone (and, in residual mode, predicts the
+// whole drop rather than a correction), exactly the
+// imprecision-tolerance the paper's ML stage is trained to absorb.
+// The ladder always serves, so a fused analysis degrades rather than
+// fails when the numerical backends misbehave.
 func (a *Analyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*grid.Map, time.Duration, error) {
-	s, err := dataset.BuildCtx(ctx, d, a.Config.DatasetOptions())
+	opts := a.Config.DatasetOptions()
+	opts.RoughSolver = a.RoughSolver(0)
+	s, err := dataset.BuildCtx(ctx, d, opts)
 	if err != nil {
 		return nil, 0, err
 	}
 	start := time.Now()
 	pred := a.PredictCtx(ctx, s)
 	return pred, s.NumericalTime + time.Since(start), nil
+}
+
+// RoughSolver builds the dataset.Options.RoughSolver hook that runs
+// the fused pipeline's rough solve on the degradation ladder, with the
+// given iteration budget (<= 0 uses the config's RoughIters). Exported
+// for callers that drive dataset.BuildCtx themselves — the serving
+// layer, which overrides the budget per request.
+func (a *Analyzer) RoughSolver(iters int) func(ctx context.Context, sys *circuit.System, x []float64) error {
+	if iters <= 0 {
+		iters = a.Config.RoughIters
+	}
+	return func(ctx context.Context, sys *circuit.System, x []float64) error {
+		primary := LadderRung{Name: RungRough, Run: func(ctx context.Context) error {
+			var pre solver.Preconditioner
+			if a.Config.DatasetOptions().RoughPrecond == "amg" {
+				h, err := amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
+				if err != nil {
+					return err
+				}
+				pre = h
+			} else {
+				pre = solver.NewSSOR(sys.G, 2)
+			}
+			for i := range x {
+				x[i] = 0
+			}
+			ropts := solver.RoughOptions(iters)
+			ropts.Label = RungRough
+			_, err := solver.PCGCtx(ctx, sys.G, x, sys.I, pre, ropts)
+			return err
+		}}
+		rwRung := LadderRung{Name: RungRoughRW, Run: func(ctx context.Context) error {
+			return randomWalkSolve(ctx, sys, x, RungRoughRW, iters, nil)
+		}}
+		structOnly := LadderRung{Name: RungStructOnly, Run: func(ctx context.Context) error {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w: %w", solver.ErrCancelled, err)
+			}
+			for i := range x {
+				x[i] = 0
+			}
+			return nil
+		}}
+		_, _, err := RunLadder(ctx, "core.fused.rough",
+			[]LadderRung{primary, rwRung, structOnly}, a.Resilience)
+		return err
+	}
 }
 
 // Evaluate scores the analyzer on prepared samples, charging the
@@ -541,15 +605,39 @@ func hotspotWeights(y *nn.Tensor, hw float64) *nn.Tensor {
 	return w
 }
 
+// Ladder rung names. They double as the obs solve labels of the
+// numerical stage, so a manifest's convergence traces say which
+// backend produced them, and as the circuit-breaker names in a
+// serving process.
+const (
+	RungAMG        = "numerical.amg"
+	RungSSOR       = "numerical.ssor"
+	RungRandomWalk = "numerical.randomwalk"
+	RungRough      = "rough"
+	RungRoughRW    = "rough.randomwalk"
+	RungStructOnly = "rough.structure-only"
+)
+
 // NumericalAnalyzer is the pure numerical baseline (PowerRush-style
 // budgeted PCG, or a converged golden AMG-PCG solve when Iters <= 0).
 // Budgeted solves use the same preconditioner the fusion pipeline's
 // rough stage uses ("ssor" by default, "amg" for the full K-cycle) so
 // the Fig-7 comparison is engine-for-engine fair.
+//
+// Solves run on a degradation ladder (AMG-PCG → SSOR-PCG → random
+// walk) governed by Resilience: a failing backend is retried with
+// backoff when the failure looks transient, abandoned for the next
+// rung otherwise, and the outcome is recorded in the run manifest's
+// degradation section. When Precond selects SSOR the ladder starts at
+// the SSOR rung.
 type NumericalAnalyzer struct {
 	Iters      int
 	Resolution int
 	Precond    string
+	// Resilience tunes retries/backoff and optionally carries the
+	// shared circuit-breaker set of a serving process. The zero value
+	// means defaults (see ResilienceOptions).
+	Resilience ResilienceOptions
 }
 
 // Analyze solves the design and rasterizes the bottom-layer drops,
@@ -560,7 +648,9 @@ func (n *NumericalAnalyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, f
 
 // AnalyzeCtx is Analyze with cooperative cancellation (the PCG loop
 // stops early with solver.ErrCancelled when ctx is cancelled) and
-// per-context observability via obs.ActiveOr.
+// per-context observability via obs.ActiveOr. The solve runs on the
+// degradation ladder; when every rung fails the error wraps
+// ErrLadderExhausted.
 func (n *NumericalAnalyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*grid.Map, time.Duration, float64, error) {
 	rec := obs.ActiveOr(ctx)
 	start := time.Now()
@@ -575,27 +665,9 @@ func (n *NumericalAnalyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*gr
 	}
 	st.End()
 	x := make([]float64, sys.N())
-	opts := solver.DefaultOptions()
-	opts.Label = "numerical"
-	var pre solver.Preconditioner
-	if n.Iters > 0 && n.Precond != "amg" {
-		opts = solver.RoughOptions(n.Iters)
-		opts.Label = "numerical"
-		pre = solver.NewSSOR(sys.G, 2)
-	} else {
-		if n.Iters > 0 {
-			opts = solver.RoughOptions(n.Iters)
-			opts.Label = "numerical"
-		}
-		h, err := amg.Build(sys.G, amg.DefaultOptions())
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		pre = h
-	}
+	var res solver.Result
 	st = rec.StartStage("numerical.solve")
-	res, err := solver.PCGCtx(ctx, sys.G, x, sys.I, pre, opts)
-	if err != nil {
+	if _, _, err := RunLadder(ctx, "core.numerical", n.ladderRungs(sys, x, &res), n.Resilience); err != nil {
 		return nil, 0, 0, err
 	}
 	st.End()
@@ -603,6 +675,107 @@ func (n *NumericalAnalyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*gr
 	m := features.GoldenMap(nw, sys.FullDrops(x), n.Resolution, n.Resolution)
 	st.End()
 	return m, time.Since(start), res.Residual, nil
+}
+
+// solveOpts returns the PCG options of one ladder rung: a converged
+// solve when Iters <= 0, the budgeted rough configuration otherwise,
+// labeled with the rung name so the manifest's convergence trace says
+// which backend ran.
+func (n *NumericalAnalyzer) solveOpts(label string) solver.Options {
+	opts := solver.DefaultOptions()
+	if n.Iters > 0 {
+		opts = solver.RoughOptions(n.Iters)
+	}
+	opts.Label = label
+	return opts
+}
+
+// ladderRungs builds the degradation ladder for this analyzer's
+// configuration: AMG-PCG → SSOR-PCG → random walk, starting at the
+// SSOR rung when Precond selects it. Each rung resets x before
+// solving (a failed attempt must not poison the next) and writes the
+// winning solver.Result into res.
+func (n *NumericalAnalyzer) ladderRungs(sys *circuit.System, x []float64, res *solver.Result) []LadderRung {
+	pcgRung := func(name string, pre func(ctx context.Context) (solver.Preconditioner, error)) LadderRung {
+		return LadderRung{Name: name, Run: func(ctx context.Context) error {
+			p, err := pre(ctx)
+			if err != nil {
+				return err
+			}
+			for i := range x {
+				x[i] = 0
+			}
+			r, err := solver.PCGCtx(ctx, sys.G, x, sys.I, p, n.solveOpts(name))
+			if err != nil {
+				return err
+			}
+			*res = r
+			return nil
+		}}
+	}
+	amgRung := pcgRung(RungAMG, func(ctx context.Context) (solver.Preconditioner, error) {
+		return amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
+	})
+	ssorRung := pcgRung(RungSSOR, func(context.Context) (solver.Preconditioner, error) {
+		return solver.NewSSOR(sys.G, 2), nil
+	})
+	rwRung := LadderRung{Name: RungRandomWalk, Run: func(ctx context.Context) error {
+		return randomWalkSolve(ctx, sys, x, RungRandomWalk, n.Iters, res)
+	}}
+	if n.Iters > 0 && n.Precond != "amg" {
+		return []LadderRung{ssorRung, rwRung}
+	}
+	return []LadderRung{amgRung, ssorRung, rwRung}
+}
+
+// randomWalkSolve is the last numerical rung: the Monte-Carlo solver
+// of Qian/Nassif/Sapatnekar, which needs no preconditioner setup and
+// no Krylov recurrence — it survives faults that break both PCG
+// backends. The estimate is rough by construction; that is exactly
+// the regime the fusion pipeline tolerates. Reported to the run
+// recorder as a solve record (walks as "iterations") under label.
+func randomWalkSolve(ctx context.Context, sys *circuit.System, x []float64, label string, iters int, res *solver.Result) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", solver.ErrCancelled, err)
+	}
+	// Fault hook: the walk has no Krylov recurrence to break down, so
+	// of the solver.pcg actions it honors only "fail" — which is how a
+	// chaos spec exhausts a whole ladder (PCG rungs ignore "fail").
+	if f := faults.ActiveOr(ctx).Fire(faults.SitePCG, label); f != nil && f.Action == faults.ActFail {
+		return f.Error()
+	}
+	rw, err := solver.NewRandomWalk(sys.G, sys.I)
+	if err != nil {
+		return err
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	// Walks per node scale with the iteration budget (a budgeted
+	// analyzer wants a fast estimate) but stay bounded.
+	walks := 64
+	if iters > 0 {
+		walks = 8 * iters
+		if walks > 64 {
+			walks = 64
+		}
+	}
+	start := time.Now()
+	rw.Solve(x, walks, rand.New(rand.NewSource(1)))
+	r := solver.Result{
+		Iterations: walks,
+		Residual:   solver.RelResidual(sys.G, x, sys.I),
+	}
+	obs.ActiveOr(ctx).RecordSolve(obs.SolveRecord{
+		Label:      label,
+		Iterations: r.Iterations,
+		Residual:   r.Residual,
+		Seconds:    time.Since(start).Seconds(),
+	})
+	if res != nil {
+		*res = r
+	}
+	return nil
 }
 
 // ModelNames exposes the registry for CLI listings.

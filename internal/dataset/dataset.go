@@ -15,6 +15,7 @@ import (
 
 	"irfusion/internal/amg"
 	"irfusion/internal/circuit"
+	"irfusion/internal/faults"
 	"irfusion/internal/features"
 	"irfusion/internal/grid"
 	"irfusion/internal/nn"
@@ -47,6 +48,15 @@ type Options struct {
 	GoldenTol float64
 	// GoldenMaxIter caps golden solve iterations.
 	GoldenMaxIter int
+	// RoughSolver, when non-nil, replaces the built-in budgeted rough
+	// solve: it must fill x (length sys.N()) with an approximate
+	// solution of sys.G·x = sys.I, or return an error to fail the
+	// build. The degradation ladder in internal/core uses this hook
+	// to fall back to cheaper backends — including a structure-only
+	// rung that leaves x zero, which flows through feature extraction
+	// as all-zero numerical channels (the model's input shape never
+	// changes).
+	RoughSolver func(ctx context.Context, sys *circuit.System, x []float64) error
 }
 
 // DefaultOptions returns the pipeline defaults at the given raster
@@ -95,6 +105,14 @@ func Build(d *pgen.Design, opts Options) (*Sample, error) {
 // carries its own recorder.
 func BuildCtx(ctx context.Context, d *pgen.Design, opts Options) (*Sample, error) {
 	rec := obs.ActiveOr(ctx)
+	// Fault-injection hook (faults.SiteDatasetBuild): latency/stall
+	// faults exercise the serving layer's timeout and cancellation
+	// paths without touching the numerical code.
+	if f := faults.ActiveOr(ctx).Fire(faults.SiteDatasetBuild, ""); f != nil {
+		if err := f.Sleep(ctx); err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
+		}
+	}
 	st := rec.StartStage("dataset.assemble")
 	nw, err := circuit.FromNetlist(d.Netlist)
 	if err != nil {
@@ -105,7 +123,7 @@ func BuildCtx(ctx context.Context, d *pgen.Design, opts Options) (*Sample, error
 		return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
 	}
 	st.End()
-	h, err := amg.Build(sys.G, amg.DefaultOptions())
+	h, err := amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
 	}
@@ -138,16 +156,22 @@ func BuildCtx(ctx context.Context, d *pgen.Design, opts Options) (*Sample, error
 	st.End()
 	fs.Append(struct_)
 	if opts.IncludeNumerical {
-		var pre solver.Preconditioner = h
-		if opts.RoughPrecond != "amg" {
-			pre = solver.NewSSOR(sys.G, 2)
-		}
 		st = rec.StartStage("dataset.rough_solve")
 		rx := make([]float64, sys.N())
-		ropts := solver.RoughOptions(opts.RoughIters)
-		ropts.Label = "rough"
-		if _, err := solver.PCGCtx(ctx, sys.G, rx, sys.I, pre, ropts); err != nil {
-			return nil, fmt.Errorf("dataset: %s: rough solve: %w", d.Name, err)
+		if opts.RoughSolver != nil {
+			if err := opts.RoughSolver(ctx, sys, rx); err != nil {
+				return nil, fmt.Errorf("dataset: %s: rough solve: %w", d.Name, err)
+			}
+		} else {
+			var pre solver.Preconditioner = h
+			if opts.RoughPrecond != "amg" {
+				pre = solver.NewSSOR(sys.G, 2)
+			}
+			ropts := solver.RoughOptions(opts.RoughIters)
+			ropts.Label = "rough"
+			if _, err := solver.PCGCtx(ctx, sys.G, rx, sys.I, pre, ropts); err != nil {
+				return nil, fmt.Errorf("dataset: %s: rough solve: %w", d.Name, err)
+			}
 		}
 		st.End()
 		st = rec.StartStage("dataset.features.numerical")

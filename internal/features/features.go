@@ -11,11 +11,13 @@ package features
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"irfusion/internal/circuit"
+	"irfusion/internal/faults"
 	"irfusion/internal/grid"
 	"irfusion/internal/obs"
 )
@@ -23,7 +25,16 @@ import (
 // timedMap builds one named feature map, accumulating its
 // rasterization time under "feature.<name>" when a run recorder is
 // active (gauge feature.<name>.seconds, counter feature.<name>.count).
+//
+// Fault-injection hook (faults.SiteFeatures, labeled by map name):
+// latency faults slow individual map extractions to exercise
+// timeout budgets. This site has no context, so only the
+// process-global injector reaches it and stall faults must not be
+// configured here (they would block forever).
 func timedMap(rec *obs.Recorder, name string, build func() *grid.Map) *grid.Map {
+	if f := faults.Active().Fire(faults.SiteFeatures, name); f != nil && f.Action == faults.ActLatency {
+		f.Sleep(context.Background())
+	}
 	if rec == nil {
 		return build()
 	}

@@ -33,6 +33,12 @@ type Manifest struct {
 	Gauges      map[string]float64 `json:"gauges,omitempty"`
 	Solves      []SolveRecord      `json:"solves,omitempty"`
 	Epochs      []EpochRecord      `json:"epochs,omitempty"`
+	// Degradations is the resilience trail: one record per laddered
+	// operation saying which backend rung produced the answer, with
+	// every retry, backoff, and breaker skip along the way. Optional
+	// key of irfusion/run-manifest/v1 (absent = no laddered
+	// operation ran).
+	Degradations []Degradation `json:"degradation,omitempty"`
 }
 
 // Host captures the execution environment of the run.
@@ -89,6 +95,7 @@ func (r *Recorder) Manifest(kind string, config any) *Manifest {
 	}
 	m.Solves = append([]SolveRecord(nil), r.solves...)
 	m.Epochs = append([]EpochRecord(nil), r.epochs...)
+	m.Degradations = append([]Degradation(nil), r.degrads...)
 
 	// Derived pool-utilization gauge from the well-known parallel.*
 	// counters (see internal/parallel): the fraction of kernel
@@ -136,6 +143,28 @@ func (m *Manifest) Validate() error {
 			return fmt.Errorf("obs: malformed solve record %+v", s)
 		}
 	}
+	for _, d := range m.Degradations {
+		if d.Component == "" {
+			return fmt.Errorf("obs: degradation record missing component: %+v", d)
+		}
+		if d.Rung == "" && !d.Exhausted {
+			return fmt.Errorf("obs: degradation record for %s has no rung and is not exhausted", d.Component)
+		}
+		if d.RungIndex < 0 {
+			return fmt.Errorf("obs: degradation record for %s has negative rung_index", d.Component)
+		}
+		if len(d.Attempts) == 0 {
+			return fmt.Errorf("obs: degradation record for %s has no attempts", d.Component)
+		}
+		for _, a := range d.Attempts {
+			if a.Rung == "" {
+				return fmt.Errorf("obs: degradation attempt missing rung: %+v", a)
+			}
+			if a.Skipped == "" && a.Attempt <= 0 {
+				return fmt.Errorf("obs: degradation attempt for %s not positive: %+v", d.Component, a)
+			}
+		}
+	}
 	return nil
 }
 
@@ -167,6 +196,17 @@ func (m *Manifest) Summary() string {
 				s.Label, s.Iterations, fmtSeconds(s.Seconds), s.Residual, s.Converged)
 		}
 	}
+	for _, d := range m.Degradations {
+		state := "clean"
+		switch {
+		case d.Exhausted:
+			state = "EXHAUSTED"
+		case d.Degraded():
+			state = "degraded"
+		}
+		fmt.Fprintf(&b, "resilience: %s served by rung %d (%s), %d attempt(s), %s\n",
+			d.Component, d.RungIndex, orDash(d.Rung), len(d.Attempts), state)
+	}
 	if n := len(m.Epochs); n > 0 {
 		first, last := m.Epochs[0], m.Epochs[n-1]
 		fmt.Fprintf(&b, "training: %d epochs, loss %.4g → %.4g\n", n, first.Loss, last.Loss)
@@ -187,6 +227,13 @@ func (m *Manifest) Summary() string {
 		fmt.Fprintf(&b, "counters: %s\n", strings.Join(rest, " "))
 	}
 	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
 }
 
 func fmtSeconds(s float64) string {

@@ -119,6 +119,48 @@ type SolveRecord struct {
 	History    []float64 `json:"history,omitempty"`
 }
 
+// DegradationAttempt is one try of one ladder rung: which rung, the
+// 1-based attempt number on that rung, the error that ended it (empty
+// on success), the backoff slept before retrying, and — when the rung
+// was never tried at all — why it was skipped (e.g. "breaker-open").
+type DegradationAttempt struct {
+	Rung           string  `json:"rung"`
+	Attempt        int     `json:"attempt"`
+	Error          string  `json:"error,omitempty"`
+	BackoffSeconds float64 `json:"backoff_seconds,omitempty"`
+	Skipped        string  `json:"skipped,omitempty"`
+}
+
+// Degradation records how one laddered operation produced its answer:
+// the component that ran the ladder, the rung that finally served
+// (empty when the ladder was exhausted), its index (0 = the preferred
+// backend, >0 = a fallback), and the full attempt trail including
+// retries, backoffs, and breaker skips. A served response therefore
+// always says *how* its answer was produced — the manifest contract
+// the resilience layer adds to irfusion/run-manifest/v1 (optional
+// key, no version bump).
+type Degradation struct {
+	Component string               `json:"component"`
+	Rung      string               `json:"rung,omitempty"`
+	RungIndex int                  `json:"rung_index"`
+	Exhausted bool                 `json:"exhausted,omitempty"`
+	Attempts  []DegradationAttempt `json:"attempts"`
+}
+
+// Degraded reports whether the record describes anything other than a
+// clean first-attempt success on the preferred rung.
+func (d *Degradation) Degraded() bool {
+	if d.RungIndex > 0 || d.Exhausted {
+		return true
+	}
+	for _, a := range d.Attempts {
+		if a.Error != "" || a.Skipped != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // EpochRecord is one training epoch: loss trajectory, learning rate,
 // curriculum subset size, and timing.
 type EpochRecord struct {
@@ -145,6 +187,7 @@ type Recorder struct {
 	stages     map[string]*StageRecord
 	solves     []SolveRecord
 	epochs     []EpochRecord
+	degrads    []Degradation
 }
 
 // NewRecorder returns a recorder whose manifest will report global
@@ -254,6 +297,18 @@ func (r *Recorder) RecordSolve(s SolveRecord) {
 	s.Residual = sanitize(s.Residual)
 	r.mu.Lock()
 	r.solves = append(r.solves, s)
+	r.mu.Unlock()
+}
+
+// RecordDegradation appends a degradation record (ladder outcome).
+// The attempts slice is copied, so callers may keep mutating theirs.
+func (r *Recorder) RecordDegradation(d Degradation) {
+	if r == nil {
+		return
+	}
+	d.Attempts = append([]DegradationAttempt(nil), d.Attempts...)
+	r.mu.Lock()
+	r.degrads = append(r.degrads, d)
 	r.mu.Unlock()
 }
 

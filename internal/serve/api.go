@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"irfusion/internal/circuit"
 	"irfusion/internal/core"
 	"irfusion/internal/dataset"
+	"irfusion/internal/faults"
 	"irfusion/internal/grid"
 	"irfusion/internal/obs"
 	"irfusion/internal/pgen"
@@ -128,6 +131,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	design, err := s.prepare(&req)
 	if err != nil {
+		var de *circuit.DeckError
+		if errors.As(err, &de) {
+			// Deck-lint failures carry the full machine-readable issue
+			// list, not just the first problem.
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error":  de.Error(),
+				"issues": de.Issues,
+			})
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -183,11 +196,29 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, v)
 	default:
 		code := http.StatusInternalServerError
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		switch {
+		case v.ErrorKind == errKindExhausted:
+			// Every degradation rung failed (or was breaker-skipped):
+			// the request was valid, the backends are unhealthy. Tell
+			// the client when a retry has a chance — after the breaker
+			// cooldown, when probes re-admit traffic.
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			code = http.StatusServiceUnavailable
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
 			code = http.StatusGatewayTimeout
 		}
 		writeJSON(w, code, v)
 	}
+}
+
+// retryAfterSeconds renders the breaker cooldown as a Retry-After
+// value (at least 1 second).
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.cfg.BreakerCooldown / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -231,6 +262,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"pool_min_work":  pm,
 		"fused_model":    s.cfg.Analyzer != nil,
 		"jobs":           s.reg.counts(),
+		"breakers":       s.breakers.States(),
+		"fault_spec":     faults.Active().Spec(),
 	})
 }
 
@@ -243,6 +276,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 			"serve.in_flight":      float64(s.InFlight()),
 			"serve.workers":        float64(s.cfg.Workers),
 		},
+		"breakers": s.breakers.States(),
 	})
 }
 
@@ -315,6 +349,12 @@ func (s *Server) prepare(req *AnalyzeRequest) (*pgen.Design, error) {
 	if len(nl.Elements) == 0 {
 		return nil, errors.New("spice: deck has no elements")
 	}
+	// Lint the deck before admitting it: floating nodes, non-positive
+	// resistances, missing or disagreeing pads. A bad deck costs a 400
+	// here, not a mid-solve 500 from a worker.
+	if err := circuit.ValidateNetlist(nl); err != nil {
+		return nil, err
+	}
 	size := inferDieSize(nl)
 	if size <= 0 {
 		size = req.Resolution
@@ -367,8 +407,8 @@ func padVoltage(nl *spice.Netlist) float64 {
 // per-job obs.Recorder bound into the job context so concurrent jobs
 // produce isolated run manifests.
 func (s *Server) runJob(j *Job) {
-	if j.cancelled.Load() || !j.markRunning() {
-		return // cancelled while queued; already finalized
+	if !j.markRunning() {
+		return // cancelled while queued; already finalized under j.mu
 	}
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
@@ -378,7 +418,7 @@ func (s *Server) runJob(j *Job) {
 	rec.Add("serve.job", 1)
 	ctx := obs.WithRecorder(j.ctx, rec)
 
-	result, err := s.execute(ctx, j)
+	result, err := s.executeProtected(ctx, j)
 	manifest := rec.Manifest("serve.analyze", map[string]any{
 		"mode":    j.req.Mode,
 		"iters":   j.req.Iters,
@@ -398,15 +438,51 @@ func (s *Server) runJob(j *Job) {
 		j.finalize(StatusDone, "", result)
 	case j.cancelled.Load():
 		cCancelled.Inc()
-		j.finalize(StatusCancelled, err.Error(), result)
+		j.finalizeKind(StatusCancelled, err.Error(), errKindCancelled, result)
 	default:
 		cFailed.Inc()
-		msg := err.Error()
-		if errors.Is(err, context.DeadlineExceeded) {
+		msg, kind := err.Error(), ""
+		switch {
+		case errors.Is(err, errWorkerPanic):
+			kind = errKindPanic
+		case errors.Is(err, core.ErrLadderExhausted):
+			kind = errKindExhausted
+		case errors.Is(err, context.DeadlineExceeded):
+			kind = errKindTimeout
 			msg = fmt.Sprintf("deadline exceeded: %v", err)
 		}
-		j.finalize(StatusFailed, msg, result)
+		j.finalizeKind(StatusFailed, msg, kind, result)
 	}
+}
+
+// errWorkerPanic marks an analysis that died by panic and was
+// recovered on the worker goroutine.
+var errWorkerPanic = errors.New("serve: worker panic")
+
+// executeProtected runs execute with a panic barrier: a panicking
+// analysis must cost one failed job (with its partial manifest), never
+// the worker goroutine — losing a worker would silently shrink service
+// capacity until the queue wedges. Recovered panics increment the
+// serve.panics counter and surface as a 500 with errKindPanic.
+func (s *Server) executeProtected(ctx context.Context, j *Job) (result *AnalyzeResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cPanics.Inc()
+			result, err = nil, fmt.Errorf("%w: %v", errWorkerPanic, r)
+		}
+	}()
+	// Fault hook (faults.SiteServeWorker, labeled by mode): panic
+	// exercises the recovery barrier above; latency/stall delay the
+	// job cooperatively.
+	if f := faults.ActiveOr(ctx).Fire(faults.SiteServeWorker, j.req.Mode); f != nil {
+		if f.Action == faults.ActPanic {
+			panic(f.Error())
+		}
+		if serr := f.Sleep(ctx); serr != nil {
+			return nil, fmt.Errorf("%w: %w", solver.ErrCancelled, serr)
+		}
+	}
+	return s.execute(ctx, j)
 }
 
 // execute runs the analysis of one job under ctx. On cancellation the
@@ -421,7 +497,10 @@ func (s *Server) execute(ctx context.Context, j *Job) (*AnalyzeResult, error) {
 	if res == 0 {
 		res = d.W
 	}
-	na := &core.NumericalAnalyzer{Iters: req.Iters, Resolution: res, Precond: req.Precond}
+	na := &core.NumericalAnalyzer{
+		Iters: req.Iters, Resolution: res, Precond: req.Precond,
+		Resilience: s.resilience(),
+	}
 	m, rt, resid, err := na.AnalyzeCtx(ctx, d)
 	if err != nil {
 		return nil, err
@@ -440,7 +519,12 @@ func (s *Server) executeFused(ctx context.Context, req *AnalyzeRequest, d *pgen.
 	if req.Iters > 0 {
 		cfg.RoughIters = req.Iters
 	}
-	sample, err := dataset.BuildCtx(ctx, d, cfg.DatasetOptions())
+	opts := cfg.DatasetOptions()
+	// The rough solve runs on the fused degradation ladder (budgeted
+	// PCG → random walk → structure-only), sharing the server's
+	// circuit breakers, at this request's iteration budget.
+	opts.RoughSolver = al.RoughSolver(req.Iters)
+	sample, err := dataset.BuildCtx(ctx, d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -448,11 +532,27 @@ func (s *Server) executeFused(ctx context.Context, req *AnalyzeRequest, d *pgen.
 		return nil, fmt.Errorf("%w before inference: %w", solver.ErrCancelled, err)
 	}
 	start := time.Now()
-	s.mlMu.Lock()
-	pred := al.PredictCtx(ctx, sample)
-	s.mlMu.Unlock()
+	pred := s.predictLocked(ctx, sample)
 	rt := sample.NumericalTime + time.Since(start)
 	return newResult(req, d, pred, rt.Seconds()), nil
+}
+
+// predictLocked serializes inference on the shared model instance.
+// The unlock is deferred so a panicking forward pass (recovered by
+// executeProtected) cannot leave the mutex held and wedge every
+// subsequent fused job.
+func (s *Server) predictLocked(ctx context.Context, sample *dataset.Sample) *grid.Map {
+	s.mlMu.Lock()
+	defer s.mlMu.Unlock()
+	return s.cfg.Analyzer.PredictCtx(ctx, sample)
+}
+
+// resilience returns the ladder policy for one job: the configured
+// retry/backoff overrides plus the server's shared breaker set.
+func (s *Server) resilience() core.ResilienceOptions {
+	res := s.cfg.Resilience
+	res.Breakers = s.breakers
+	return res
 }
 
 // newResult summarizes a predicted map into the response payload.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"irfusion/internal/core"
 	"irfusion/internal/pgen"
 )
 
@@ -56,7 +57,7 @@ func TestConcurrentRequestsNoManifestCrossTalk(t *testing.T) {
 				errs <- fmt.Errorf("seed %d: %w", seed, err)
 				return
 			}
-			if len(m.Solves) != 1 || m.Solves[0].Label != "numerical" {
+			if len(m.Solves) != 1 || m.Solves[0].Label != core.RungSSOR {
 				errs <- fmt.Errorf("seed %d: cross-talk: %d solves %+v", seed, len(m.Solves), m.Solves)
 				return
 			}

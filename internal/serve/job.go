@@ -50,10 +50,21 @@ type Job struct {
 	mu       sync.Mutex
 	status   Status
 	err      string
+	errKind  string
 	result   *AnalyzeResult
 	started  time.Time
 	finished time.Time
 }
+
+// Error kinds attached to failed jobs so clients (and the sync
+// response path) can map failures to behaviour without parsing
+// message text.
+const (
+	errKindExhausted = "ladder-exhausted" // every degradation rung failed
+	errKindPanic     = "worker-panic"     // recovered panic in the worker
+	errKindTimeout   = "timeout"          // job deadline expired
+	errKindCancelled = "cancelled"        // cancelled via DELETE or disconnect
+)
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
@@ -80,12 +91,19 @@ func (j *Job) Cancel() bool {
 		return false
 	}
 	j.cancelled.Store(true)
-	queued := j.status == StatusQueued
-	j.mu.Unlock()
-	if queued {
-		// Not yet started: finalize now; runJob skips cancelled jobs.
-		j.finalize(StatusCancelled, "cancelled before start", nil)
+	if j.status == StatusQueued {
+		// Not yet started: finalize atomically with the queued check,
+		// under the same mutex markRunning takes. Checking here and
+		// finalizing after unlocking would race a worker picking the
+		// job up in the window — the worker would then run (and
+		// complete) a job this call already finalized as "cancelled
+		// before start", silently dropping its result and manifest.
+		j.finalizeLocked(StatusCancelled, "cancelled before start", errKindCancelled, nil)
+		j.mu.Unlock()
+		j.cancel()
+		return true
 	}
+	j.mu.Unlock()
 	j.cancel()
 	return true
 }
@@ -106,16 +124,26 @@ func (j *Job) markRunning() bool {
 // finalize moves the job to a terminal status exactly once and closes
 // Done.
 func (j *Job) finalize(status Status, errMsg string, result *AnalyzeResult) {
+	j.finalizeKind(status, errMsg, "", result)
+}
+
+// finalizeKind is finalize carrying a machine-readable error kind.
+func (j *Job) finalizeKind(status Status, errMsg, kind string, result *AnalyzeResult) {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finalizeLocked(status, errMsg, kind, result)
+}
+
+// finalizeLocked is the terminal transition; j.mu must be held.
+func (j *Job) finalizeLocked(status Status, errMsg, kind string, result *AnalyzeResult) {
 	if j.status.Terminal() {
-		j.mu.Unlock()
 		return
 	}
 	j.status = status
 	j.err = errMsg
+	j.errKind = kind
 	j.result = result
 	j.finished = time.Now()
-	j.mu.Unlock()
 	close(j.done)
 }
 
@@ -124,6 +152,7 @@ type JobView struct {
 	ID          string         `json:"id"`
 	Status      Status         `json:"status"`
 	Error       string         `json:"error,omitempty"`
+	ErrorKind   string         `json:"error_kind,omitempty"`
 	SubmittedAt time.Time      `json:"submitted_at"`
 	StartedAt   *time.Time     `json:"started_at,omitempty"`
 	FinishedAt  *time.Time     `json:"finished_at,omitempty"`
@@ -138,6 +167,7 @@ func (j *Job) Snapshot() JobView {
 		ID:          j.id,
 		Status:      j.status,
 		Error:       j.err,
+		ErrorKind:   j.errKind,
 		SubmittedAt: j.submitted,
 		Result:      j.result,
 	}

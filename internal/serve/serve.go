@@ -44,6 +44,7 @@ var (
 	cFailed    = obs.GlobalCounter("serve.jobs.failed")
 	cCancelled = obs.GlobalCounter("serve.jobs.cancelled")
 	cRejected  = obs.GlobalCounter("serve.jobs.rejected")
+	cPanics    = obs.GlobalCounter("serve.panics")
 )
 
 // Config sizes the service. Zero values take the documented defaults.
@@ -73,6 +74,17 @@ type Config struct {
 	// pipeline. The model instance is shared, so the ML inference
 	// stage is serialized across jobs (the numerical stage is not).
 	Analyzer *core.Analyzer
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// solve backend's circuit breaker: an open breaker makes the
+	// degradation ladder skip that rung without attempting it until
+	// BreakerCooldown elapses (then a single probe decides). Breakers
+	// are shared across all jobs of the server. Defaults 3 and 5s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Resilience overrides the retry/backoff policy of the analysis
+	// degradation ladders. Zero-value fields take the core defaults;
+	// the Breakers field is always replaced by the server's shared set.
+	Resilience core.ResilienceOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -91,17 +103,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 256
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	return c
 }
 
 // Server is the analysis service. Construct with New, mount Handler
 // on an http.Server (or use httptest in tests), and stop with Close.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	queue chan *Job
-	reg   *registry
-	start time.Time
+	cfg      Config
+	mux      *http.ServeMux
+	queue    chan *Job
+	reg      *registry
+	start    time.Time
+	breakers *core.BreakerSet // per-rung breakers shared by all jobs
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
@@ -125,8 +144,17 @@ func New(cfg Config) *Server {
 		queue:      make(chan *Job, cfg.QueueDepth),
 		reg:        newRegistry(cfg.MaxJobs),
 		start:      time.Now(),
+		breakers:   core.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+	}
+	if cfg.Analyzer != nil {
+		// The fused pipeline's rough-solve ladder shares the server's
+		// breakers: a backend that keeps failing across jobs is skipped
+		// instead of re-attempted on every request.
+		res := cfg.Resilience
+		res.Breakers = s.breakers
+		cfg.Analyzer.Resilience = res
 	}
 	s.routes()
 	s.workers.Add(cfg.Workers)

@@ -146,8 +146,19 @@ func TestAnalyzeSyncNumerical(t *testing.T) {
 	if err := r.Manifest.Validate(); err != nil {
 		t.Errorf("manifest invalid: %v", err)
 	}
-	if len(r.Manifest.Solves) != 1 || r.Manifest.Solves[0].Label != "numerical" {
-		t.Errorf("manifest solves = %+v, want one 'numerical'", r.Manifest.Solves)
+	// The solve ran on the degradation ladder: the manifest must carry
+	// at least one numerical-rung solve and exactly one degradation
+	// record naming the rung that served. (Deliberately tolerant of an
+	// injected mid-ladder fault, so chaos runs of this suite pass.)
+	if len(r.Manifest.Solves) == 0 {
+		t.Fatal("no solves in manifest")
+	}
+	last := r.Manifest.Solves[len(r.Manifest.Solves)-1]
+	if !strings.HasPrefix(last.Label, "numerical.") {
+		t.Errorf("final solve label %q, want a numerical rung", last.Label)
+	}
+	if len(r.Manifest.Degradations) != 1 || r.Manifest.Degradations[0].Rung != last.Label {
+		t.Errorf("degradation records = %+v, want one serving rung %q", r.Manifest.Degradations, last.Label)
 	}
 	if r.Manifest.Counters["serve.job"] != 1 {
 		t.Errorf("serve.job counter = %d, want 1", r.Manifest.Counters["serve.job"])
@@ -271,8 +282,10 @@ func TestCancelStopsSolveMidIteration(t *testing.T) {
 	id := decodeJob(t, b).ID
 	waitStatus(t, ts, id, func(s Status) bool { return s == StatusRunning })
 	// Let the PCG loop accumulate iterations so the cancellation
-	// demonstrably lands mid-solve, not before the loop starts.
-	time.Sleep(150 * time.Millisecond)
+	// demonstrably lands mid-solve, not before the loop starts. The
+	// window must cover system assembly too ("running" flips before
+	// it), which race-instrumented builds stretch considerably.
+	time.Sleep(750 * time.Millisecond)
 
 	code, b = del(t, ts, "/v1/jobs/"+id)
 	if code != http.StatusOK {
@@ -305,7 +318,10 @@ func TestCancelStopsSolveMidIteration(t *testing.T) {
 
 func TestTimeoutFailsSolveWithPartialManifest(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	body := pgenBody(6, 128, fmt.Sprintf(`"iters": %d, "precond": "ssor", "timeout_ms": 80`, maxIters))
+	// The deadline must fall after assembly (which race-instrumented
+	// builds stretch past 80ms) but well before the budgeted solve
+	// finishes — the 128×128 die buys seconds of solve time.
+	body := pgenBody(6, 128, fmt.Sprintf(`"iters": %d, "precond": "ssor", "timeout_ms": 400`, maxIters))
 	code, b := post(t, ts, "/v1/analyze", body)
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504: %s", code, b)

@@ -12,6 +12,7 @@ import (
 	"math"
 	"time"
 
+	"irfusion/internal/faults"
 	"irfusion/internal/obs"
 	"irfusion/internal/parallel"
 	"irfusion/internal/sparse"
@@ -217,10 +218,32 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 		return res, ErrIndefinite
 	}
 
+	// Fault-injection hook (faults.SitePCG): resolved once, one nil
+	// check per iteration when injection is disabled. NaN/Inf faults
+	// poison the residual vector so the solver's own non-finite
+	// detection path — not a shortcut — produces the ErrBreakdown.
+	inj := faults.ActiveOr(ctx)
+
 	for k := 0; k < opts.MaxIter; k++ {
 		if cerr := ctx.Err(); cerr != nil {
 			res.Residual = rel
 			return res, fmt.Errorf("%w after %d iterations: %w", ErrCancelled, res.Iterations, cerr)
+		}
+		if inj != nil {
+			if f := inj.Fire(faults.SitePCG, opts.Label); f != nil {
+				switch f.Action {
+				case faults.ActBreakdown:
+					res.Residual = rel
+					return res, fmt.Errorf("%w (injected at iteration %d)", ErrBreakdown, k)
+				case faults.ActIndefinite:
+					res.Residual = rel
+					return res, fmt.Errorf("%w (injected at iteration %d)", ErrIndefinite, k)
+				case faults.ActNaN:
+					r[0] = math.NaN()
+				case faults.ActInf:
+					r[0] = math.Inf(1)
+				}
+			}
 		}
 		a.MulVec(ap, p)
 		pap := sparse.Dot(p, ap)
