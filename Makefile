@@ -8,9 +8,18 @@ GO ?= go
 # machines and miniature test grids.
 RACE_ENV = IRFUSION_WORKERS=4 IRFUSION_PAR_THRESHOLD=1
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke manifest-smoke fuzz-smoke chaos-smoke cover-check
+.PHONY: all fmt fmt-check vet lint build test race bench bench-smoke manifest-smoke fuzz-smoke chaos-smoke cover-check
 
-all: fmt-check vet build test
+all: fmt-check vet lint build test
+
+# The project's own static-analysis pass (internal/lint): hotpath
+# no-allocation discipline, context propagation, hook resolution,
+# %w wrapping, float equality, and goroutine containment. Findings
+# not recorded in lint.baseline fail the build; regenerate the
+# baseline only for reviewed, accepted findings with
+#   go run ./cmd/irfusionlint -baseline lint.baseline -write-baseline
+lint:
+	$(GO) run ./cmd/irfusionlint -baseline lint.baseline
 
 fmt: ## rewrite sources with gofmt
 	gofmt -w .

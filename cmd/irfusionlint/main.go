@@ -1,0 +1,78 @@
+// Command irfusionlint runs the project's static-analysis pass (see
+// internal/lint) over the module tree and reports findings as
+// file:line: rule: message lines (or JSON with -json).
+//
+// Exit status: 0 when clean (after baseline filtering), 1 when
+// findings remain, 2 on load/usage errors. CI runs it via `make lint`
+// with the committed lint.baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"irfusion/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	modRoot := flag.String("C", ".", "module root to lint (directory containing go.mod)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings to filter out")
+	writeBaseline := flag.Bool("write-baseline", false, "write current findings to -baseline and exit 0")
+	flag.Parse()
+
+	diags, err := lint.Run(*modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "irfusionlint:", err)
+		return 2
+	}
+
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "irfusionlint: -write-baseline requires -baseline")
+			return 2
+		}
+		if err := lint.WriteBaseline(*baselinePath, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "irfusionlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "irfusionlint: wrote %d findings to %s\n", len(diags), *baselinePath)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irfusionlint:", err)
+			return 2
+		}
+		diags = b.Filter(diags)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "irfusionlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "irfusionlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

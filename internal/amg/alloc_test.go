@@ -1,0 +1,51 @@
+package amg
+
+// Zero-allocation regression guards for the cycle transfer kernels;
+// see internal/sparse/alloc_test.go for the pattern rationale.
+
+import (
+	"testing"
+
+	"irfusion/internal/parallel"
+	"irfusion/internal/race"
+)
+
+func pinSerialPool(t *testing.T) {
+	t.Helper()
+	prev := parallel.SetDefault(parallel.New(1))
+	t.Cleanup(func() { parallel.SetDefault(prev) })
+}
+
+func requireZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	fn()
+	if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+		t.Errorf("%s: %v allocs per run in steady state, want 0", name, allocs)
+	}
+}
+
+func TestZeroAllocTransferKernels(t *testing.T) {
+	pinSerialPool(t)
+	a := laplacian2D(16, 16)
+	h, err := Build(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) < 2 || h.Levels[0].P == nil {
+		t.Skip("hierarchy too shallow to exercise transfer kernels")
+	}
+	lvl := h.Levels[0]
+	fine := make([]float64, lvl.A.Rows())
+	coarse := make([]float64, lvl.P.Cols())
+	for i := range fine {
+		fine[i] = float64(i%7) + 1
+	}
+	for i := range coarse {
+		coarse[i] = float64(i%5) + 1
+	}
+	requireZeroAllocs(t, "restrict", func() { restrict(lvl.P, coarse, fine) })
+	requireZeroAllocs(t, "prolongAdd", func() { prolongAdd(lvl.P, fine, coarse) })
+}

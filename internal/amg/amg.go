@@ -146,12 +146,15 @@ func Build(a *sparse.CSR, opts Options) (*Hierarchy, error) {
 }
 
 // BuildCtx is Build with context plumbing for the fault-injection
-// harness: an injector resolved from ctx (or the process-global one)
-// may fail the setup on demand (site faults.SiteAMGSetup), which
-// surfaces as an error wrapping ErrSetup exactly like a real
-// construction failure would.
+// harness and cooperative cancellation: an injector resolved from ctx
+// (or the process-global one) may fail the setup on demand (site
+// faults.SiteAMGSetup), which surfaces as an error wrapping ErrSetup
+// exactly like a real construction failure would, and the coarsening
+// loop checks ctx between levels so a cancelled request does not pay
+// for a full setup. The recorder is resolved with obs.ActiveOr(ctx),
+// so concurrent serving requests keep isolated manifests.
 func BuildCtx(ctx context.Context, a *sparse.CSR, opts Options) (*Hierarchy, error) {
-	st := obs.Active().StartStage("amg.setup")
+	st := obs.ActiveOr(ctx).StartStage("amg.setup")
 	defer st.End()
 	if f := faults.ActiveOr(ctx).Fire(faults.SiteAMGSetup, ""); f != nil && f.Action == faults.ActFail {
 		return nil, fmt.Errorf("%w: %w", ErrSetup, f.Error())
@@ -177,6 +180,9 @@ func BuildCtx(ctx context.Context, a *sparse.CSR, opts Options) (*Hierarchy, err
 	h := &Hierarchy{opts: opts}
 	cur := a
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("amg: setup cancelled after %d levels: %w", len(h.Levels), cerr)
+		}
 		lvl := &Level{A: cur}
 		h.Levels = append(h.Levels, lvl)
 		if cur.Rows() <= opts.MaxCoarse ||
@@ -199,6 +205,7 @@ func BuildCtx(ctx context.Context, a *sparse.CSR, opts Options) (*Hierarchy, err
 	}
 	h.coarse = chol
 	// Allocate workspace.
+	//irfusion:ctx-ok workspace allocation after the last cancellation point is fast and must complete atomically once the hierarchy exists
 	for i, lvl := range h.Levels {
 		n := lvl.A.Rows()
 		lvl.r = make([]float64, n)
@@ -221,9 +228,10 @@ func BuildCtx(ctx context.Context, a *sparse.CSR, opts Options) (*Hierarchy, err
 			lvl.kx = make([]float64, nc)
 		}
 	}
-	if rec := obs.Active(); rec != nil {
+	if rec := obs.ActiveOr(ctx); rec != nil {
 		rec.SetGauge("amg.levels", float64(len(h.Levels)))
 		rec.SetGauge("amg.operator_complexity", h.OperatorComplexity())
+		//irfusion:ctx-ok per-level gauge reporting on a finished hierarchy does no cancellable work
 		for i, lvl := range h.Levels {
 			rec.SetGauge(fmt.Sprintf("amg.level%d.rows", i), float64(lvl.A.Rows()))
 			rec.SetGauge(fmt.Sprintf("amg.level%d.nnz", i), float64(lvl.A.NNZ()))
@@ -274,7 +282,7 @@ func (h *Hierarchy) Solve(x, b []float64, tol float64, maxCycles int) (int, floa
 	n := len(b)
 	r := make([]float64, n)
 	bn := sparse.Norm2(b)
-	if bn == 0 {
+	if bn == 0 { //irfusion:exact an exactly zero RHS norm means b is identically zero; the exact solution is zero
 		sparse.Zero(x)
 		return 0, 0
 	}
@@ -409,6 +417,8 @@ func (h *Hierarchy) kcycleSolve(level int, parent *Level) {
 // rc races across fine rows of the same aggregate, so this stays
 // sequential (coarse vectors are small enough that it doesn't show in
 // profiles).
+//
+//irfusion:hotpath
 func restrict(p *sparse.CSR, rc, r []float64) {
 	sparse.Zero(rc)
 	for i := 0; i < p.RowsN; i++ {
@@ -418,14 +428,37 @@ func restrict(p *sparse.CSR, rc, r []float64) {
 	}
 }
 
+// cForSerial accounts the serial fast paths of the cycle kernels
+// under the pool's own elementwise-serial counter, keeping
+// pool-utilization numbers honest (same idiom as package sparse).
+var cForSerial = obs.GlobalCounter("parallel.for.serial")
+
 // prolongAdd computes x += P·xc. Each fine row i writes only x[i], so
 // the loop is row-parallel.
+//
+//irfusion:hotpath
 func prolongAdd(p *sparse.CSR, x, xc []float64) {
-	parallel.Default().For(p.RowsN, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			for q := p.RowPtr[i]; q < p.RowPtr[i+1]; q++ {
-				x[i] += p.Val[q] * xc[p.ColInd[q]]
-			}
-		}
+	if p.RowsN == 0 {
+		return
+	}
+	pool := parallel.Default()
+	if pool.SerialFor(p.RowsN) {
+		cForSerial.Inc()
+		prolongAddRange(p, x, xc, 0, p.RowsN)
+		return
+	}
+	pool.For(p.RowsN, func(lo, hi int) {
+		prolongAddRange(p, x, xc, lo, hi)
 	})
+}
+
+// prolongAddRange is the serial x += P·xc leaf over rows [lo, hi).
+//
+//irfusion:hotpath
+func prolongAddRange(p *sparse.CSR, x, xc []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for q := p.RowPtr[i]; q < p.RowPtr[i+1]; q++ {
+			x[i] += p.Val[q] * xc[p.ColInd[q]]
+		}
+	}
 }

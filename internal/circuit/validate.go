@@ -150,7 +150,7 @@ func ValidateNetlist(nl *spice.Netlist) error {
 	} else {
 		vdd := padVolts[0]
 		for i, v := range padVolts[1:] {
-			if v != vdd {
+			if v != vdd { //irfusion:exact pads must be stamped with bit-identical supply voltages; any difference is a netlist authoring error
 				add(IssuePadMismatch, "", nodes[padNodes[i+1]],
 					fmt.Sprintf("pads at different voltages (%g vs %g)", v, vdd))
 				break

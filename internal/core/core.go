@@ -592,7 +592,7 @@ func hotspotWeights(y *nn.Tensor, hw float64) *nn.Tensor {
 			maxY = v
 		}
 	}
-	if maxY == 0 {
+	if maxY == 0 { //irfusion:exact an exactly zero maximum means the map is identically zero; fall back to uniform weights
 		w.Fill(1)
 		return w
 	}

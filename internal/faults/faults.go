@@ -224,7 +224,7 @@ func parseRule(clause string) (*rule, error) {
 				err = fmt.Errorf("unknown key %q", key)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("faults: clause %q: %v", clause, err)
+				return nil, fmt.Errorf("faults: clause %q: %w", clause, err)
 			}
 		}
 	}

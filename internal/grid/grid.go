@@ -145,7 +145,7 @@ func (m *Map) Percentile(p float64) float64 {
 // (min, max) that were used. A constant map becomes all zeros.
 func (m *Map) Normalize() (float64, float64) {
 	mn, mx := m.Min(), m.Max()
-	if mx == mn {
+	if mx == mn { //irfusion:exact a constant map has exactly equal bounds; normalizing would divide by zero
 		m.Fill(0)
 		return mn, mx
 	}

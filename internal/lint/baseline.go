@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is a multiset of accepted findings, keyed by
+// Diagnostic.Key (file|rule|message — line numbers excluded so edits
+// elsewhere in a file don't invalidate entries). It lets the linter
+// land with teeth on a tree that has a known, reviewed long tail
+// (e.g. floateq in pre-existing feature code) while still failing on
+// anything new.
+type Baseline struct {
+	counts map[string]int
+}
+
+// LoadBaseline reads a baseline file: one Key per line, '#' comments
+// and blank lines ignored. A missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{counts: map[string]int{}}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.counts[line]++
+	}
+	return b, sc.Err()
+}
+
+// Filter returns the diagnostics not covered by the baseline. Each
+// baseline entry absorbs at most as many findings as it was recorded
+// with, so a baselined finding that multiplies still fails the build.
+func (b *Baseline) Filter(diags []Diagnostic) []Diagnostic {
+	remaining := map[string]int{}
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if remaining[d.Key()] > 0 {
+			remaining[d.Key()]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteBaseline writes the findings as a baseline file, sorted and
+// with a header explaining the contract.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, d.Key())
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("# irfusionlint baseline: accepted pre-existing findings.\n")
+	sb.WriteString("# One `file|rule|message` key per line; duplicate keys absorb that\n")
+	sb.WriteString("# many findings. Remove lines as the findings are fixed — never add\n")
+	sb.WriteString("# lines to silence a new finding without review.\n")
+	for _, k := range keys {
+		fmt.Fprintln(&sb, k)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hookPackages are the packages whose process/context hooks must be
+// resolved through their nil-safe resolvers. Maps package path to the
+// hook type names constructed there.
+var hookPackages = map[string][]string{
+	"irfusion/internal/obs":    {"Recorder"},
+	"irfusion/internal/faults": {"Injector"},
+}
+
+// checkHooksafe enforces the hook-resolution discipline for the
+// observability recorder and the fault injector:
+//
+//  1. obs.FromContext / faults.FromContext may only be called inside
+//     their own packages — callers must use ActiveOr, which folds in
+//     the process-global fallback; raw FromContext invites "recorder
+//     bound but global ignored" split-brain behavior.
+//  2. obs.Active / faults.Active may not be called from a function
+//     that receives a context: the context may carry a bound hook
+//     (serving isolation), and reading the global silently ignores
+//     it. This is exactly the manifest cross-talk bug class; use
+//     ActiveOr(ctx). Waivable with //irfusion:ctx-ok.
+//  3. The hook structs (obs.Recorder, faults.Injector) may not be
+//     composite-literal-constructed outside their home packages —
+//     the constructors establish the nil-safety invariants.
+func (r *Runner) checkHooksafe(p *Package) {
+	if _, isHome := hookPackages[p.Path]; isHome {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := contextParam(p, fd) != nil
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					r.hooksafeCall(p, fd, n, hasCtx)
+				case *ast.CompositeLit:
+					r.hooksafeLit(p, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (r *Runner) hooksafeCall(p *Package, fd *ast.FuncDecl, call *ast.CallExpr, hasCtx bool) {
+	obj, isConv := callee(p.Info, call)
+	if isConv {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if _, isHook := hookPackages[fn.Pkg().Path()]; !isHook {
+		return
+	}
+	switch fn.Name() {
+	case "FromContext":
+		r.report(call.Pos(), "hooksafe",
+			"%s: %s.FromContext may return nil and skips the global fallback; resolve hooks with %s.ActiveOr",
+			fd.Name.Name, fn.Pkg().Name(), fn.Pkg().Name())
+	case "Active":
+		if hasCtx && !waived(r.loader.Fset, r.ctxOK, call.Pos()) {
+			r.report(call.Pos(), "hooksafe",
+				"%s receives a context but reads the global %s.Active(); use %s.ActiveOr(ctx) so context-bound hooks are honored (or waive with //irfusion:ctx-ok <why>)",
+				fd.Name.Name, fn.Pkg().Name(), fn.Pkg().Name())
+		}
+	}
+}
+
+func (r *Runner) hooksafeLit(p *Package, lit *ast.CompositeLit) {
+	tv, ok := p.Info.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	typeNames, isHook := hookPackages[named.Obj().Pkg().Path()]
+	if !isHook {
+		return
+	}
+	for _, name := range typeNames {
+		if named.Obj().Name() == name {
+			r.report(lit.Pos(), "hooksafe",
+				"construct %s.%s through its package constructor, not a composite literal",
+				named.Obj().Pkg().Name(), name)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package lint
+
+import "go/ast"
+
+// goroutinePackages are the only packages allowed to contain bare go
+// statements: the worker pool owns compute concurrency, and the serve
+// layer owns request/job lifecycle. Everywhere else a goroutine is an
+// unmanaged lifetime — no join, no panic barrier, no cancellation.
+var goroutinePackages = map[string]bool{
+	"irfusion/internal/parallel": true,
+	"irfusion/internal/serve":    true,
+}
+
+// checkNoGo flags go statements outside the packages that own
+// goroutine lifecycles. Code that needs concurrency routes it through
+// parallel.Pool (compute) or the serve job queue (requests).
+func (r *Runner) checkNoGo(p *Package) {
+	if goroutinePackages[p.Path] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				r.report(g.Pos(), "nogo",
+					"go statement outside internal/parallel and internal/serve; route concurrency through the worker pool or the job queue")
+			}
+			return true
+		})
+	}
+}

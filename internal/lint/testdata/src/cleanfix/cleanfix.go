@@ -1,0 +1,30 @@
+// Package cleanfix is a fixture that must produce zero findings: an
+// in-place hotpath kernel, a ...Ctx function observing its context,
+// and a proper %w wrap.
+package cleanfix
+
+import (
+	"context"
+	"fmt"
+)
+
+// Scale rescales xs in place.
+//
+//irfusion:hotpath
+func Scale(xs []float64, k float64) {
+	for i := range xs {
+		xs[i] *= k
+	}
+}
+
+// SumCtx accumulates xs, observing ctx each iteration.
+func SumCtx(ctx context.Context, xs []float64) (float64, error) {
+	total := 0.0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("sum cancelled: %w", err)
+		}
+		total += x
+	}
+	return total, nil
+}

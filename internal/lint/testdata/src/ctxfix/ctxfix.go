@@ -1,0 +1,26 @@
+// Package ctxfix seeds ctxcheck violations: an exported ...Ctx
+// function whose loop never observes its context, and a
+// context-holding function that calls the non-Ctx variant of a
+// function with a Ctx sibling.
+package ctxfix
+
+import "context"
+
+func step(i int) int { return i + 1 }
+
+// RunCtx loops over module-internal work without ever looking at ctx.
+func RunCtx(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total = step(total)
+	}
+	return total
+}
+
+// Process receives a context but silently drops it by calling Run.
+func Process(ctx context.Context, n int) int {
+	return Run(n)
+}
+
+// Run is the context-free variant of RunCtx.
+func Run(n int) int { return RunCtx(context.Background(), n) }

@@ -1,0 +1,8 @@
+// Package directivefix seeds a malformed directive: a waiver without
+// a rationale, which is indistinguishable from a silenced check.
+package directivefix
+
+// Bad waives the comparison but gives no reason.
+func Bad(x float64) bool {
+	return x == 0 //irfusion:exact
+}

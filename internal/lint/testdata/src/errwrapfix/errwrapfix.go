@@ -1,0 +1,20 @@
+// Package errwrapfix seeds an errwrap violation: an error flattened
+// to text with %v. The %v on a non-error value must NOT be flagged.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Wrap loses the cause to errors.Is/As.
+func Wrap(id int) error {
+	return fmt.Errorf("job %d failed: %v", id, errBase)
+}
+
+// Describe formats a plain value; this is fine.
+func Describe(v any) error {
+	return fmt.Errorf("unexpected payload: %v", v)
+}

@@ -1,0 +1,11 @@
+// Package floateqfix seeds a floateq violation: an unannotated exact
+// float comparison. The annotated one must NOT be flagged.
+package floateqfix
+
+// Equal compares floats exactly without a rationale.
+func Equal(a, b float64) bool { return a == b }
+
+// ZeroGuard is the sanctioned form.
+func ZeroGuard(x float64) bool {
+	return x == 0 //irfusion:exact sentinel test for an explicitly unset value
+}

@@ -1,0 +1,28 @@
+// Package hooksafefix seeds hooksafe violations: raw FromContext use,
+// the global Active() read inside a context-holding function, and
+// hand-rolled hook construction.
+package hooksafefix
+
+import (
+	"context"
+
+	"irfusion/internal/obs"
+)
+
+// Observe resolves its recorder the two forbidden ways.
+func Observe(ctx context.Context) int64 {
+	r := obs.FromContext(ctx)
+	g := obs.Active()
+	if r != nil || g != nil {
+		return 1
+	}
+	return 0
+}
+
+// makeRecorder builds a Recorder by hand instead of the constructor.
+func makeRecorder() *obs.Recorder {
+	r := obs.Recorder{}
+	return &r
+}
+
+var _ = makeRecorder

@@ -1,0 +1,21 @@
+// Package hotpathfix seeds hotpath violations for the linter
+// self-test: an allocation, a call out of the hotpath call graph, a
+// closure, and a call through a function value.
+package hotpathfix
+
+// helper is deliberately unannotated.
+func helper(x float64) float64 { return x * 2 }
+
+// Sum is annotated hotpath but breaks every part of the contract.
+//
+//irfusion:hotpath
+func Sum(xs []float64) float64 {
+	buf := make([]float64, len(xs))
+	total := 0.0
+	for i, x := range xs {
+		buf[i] = helper(x)
+		total += buf[i]
+	}
+	f := func() float64 { return total }
+	return f()
+}

@@ -1,0 +1,8 @@
+// Package nogofix seeds a nogo violation: a bare goroutine outside
+// the packages that own concurrency lifecycles.
+package nogofix
+
+// Spawn leaks an unmanaged goroutine.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }()
+}

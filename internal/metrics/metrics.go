@@ -69,7 +69,7 @@ func (c Confusion) Recall() float64 {
 // F1 returns the harmonic mean of precision and recall.
 func (c Confusion) F1() float64 {
 	p, r := c.Precision(), c.Recall()
-	if p+r == 0 {
+	if p+r == 0 { //irfusion:exact precision and recall are exactly zero only when there are no positives at all; guard the division
 		return 0
 	}
 	return 2 * p * r / (p + r)
@@ -122,7 +122,7 @@ func CC(pred, golden *grid.Map) float64 {
 		spp += dp * dp
 		sgg += dg * dg
 	}
-	if spp == 0 || sgg == 0 {
+	if spp == 0 || sgg == 0 { //irfusion:exact exactly zero variance means a constant signal; correlation is undefined, not merely small
 		return 0
 	}
 	return spg / math.Sqrt(spp*sgg)

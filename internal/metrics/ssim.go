@@ -18,7 +18,7 @@ func SSIM(pred, golden *grid.Map) float64 {
 	const win = 7
 	half := win / 2
 	l := golden.Max() - golden.Min()
-	if l == 0 {
+	if l == 0 { //irfusion:exact an exactly zero dynamic range means a constant golden map; use a unit range
 		l = 1
 	}
 	c1 := (0.01 * l) * (0.01 * l)
@@ -53,7 +53,7 @@ func SSIM(pred, golden *grid.Map) float64 {
 	}
 	if count == 0 {
 		// Degenerate tiny maps: fall back to a global comparison.
-		if maxAbsDiff(pred, golden) == 0 {
+		if maxAbsDiff(pred, golden) == 0 { //irfusion:exact bit-identical degenerate maps score a perfect 1
 			return 1
 		}
 		return CC(pred, golden)

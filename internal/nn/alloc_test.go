@@ -1,0 +1,70 @@
+package nn
+
+// Zero-allocation regression guards for the dense GEMM and im2col
+// kernels; see internal/sparse/alloc_test.go for the pattern
+// rationale.
+
+import (
+	"testing"
+
+	"irfusion/internal/parallel"
+	"irfusion/internal/race"
+)
+
+func pinSerialPool(t *testing.T) {
+	t.Helper()
+	prev := parallel.SetDefault(parallel.New(1))
+	t.Cleanup(func() { parallel.SetDefault(prev) })
+}
+
+func requireZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	fn()
+	if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+		t.Errorf("%s: %v allocs per run in steady state, want 0", name, allocs)
+	}
+}
+
+func TestZeroAllocGEMMVariants(t *testing.T) {
+	pinSerialPool(t)
+	const m, k, n = 8, 12, 10
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	c := make([]float64, m*n)
+	at := make([]float64, k*m)
+	bt := make([]float64, n*k)
+	for i := range a {
+		a[i] = float64(i%7) - 3
+	}
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	copy(at, a[:k*m])
+	copy(bt, b[:n*k])
+	requireZeroAllocs(t, "gemm", func() { gemm(a, b, c, m, k, n, false) })
+	requireZeroAllocs(t, "gemmTA", func() { gemmTA(at, b, c, m, k, n, false) })
+	requireZeroAllocs(t, "gemmTB", func() { gemmTB(a, bt, c, m, k, n, false) })
+}
+
+func TestZeroAllocIm2colCol2im(t *testing.T) {
+	pinSerialPool(t)
+	const ic, ih, iw = 3, 9, 9
+	const kh, kw, stride, pad = 3, 3, 1, 1
+	oh := (ih+2*pad-kh)/stride + 1
+	ow := (iw+2*pad-kw)/stride + 1
+	img := make([]float64, ic*ih*iw)
+	cols := make([]float64, ic*kh*kw*oh*ow)
+	grad := make([]float64, ic*ih*iw)
+	for i := range img {
+		img[i] = float64(i%11) * 0.5
+	}
+	requireZeroAllocs(t, "im2col", func() {
+		im2col(img, cols, ic, ih, iw, kh, kw, stride, pad, oh, ow)
+	})
+	requireZeroAllocs(t, "col2im", func() {
+		col2im(cols, grad, ic, ih, iw, kh, kw, stride, pad, oh, ow)
+	})
+}

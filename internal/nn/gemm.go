@@ -10,89 +10,158 @@ import (
 // atomic add against the O(m·k·n) flops each call performs.
 var cGemm = obs.GlobalCounter("nn.gemm_calls")
 
+// cForSerial accounts the serial fast paths of the GEMM/im2col kernels
+// under the pool's own elementwise-serial counter, keeping
+// pool-utilization numbers honest (same idiom as package sparse).
+var cForSerial = obs.GlobalCounter("parallel.for.serial")
+
+// gemmMinWork is the serial cutoff of the row-parallel kernels. The
+// indices here are GEMM/im2col rows carrying substantial per-index
+// work, so the cutoff is far below the pool's vector-element default.
+const gemmMinWork = 64
+
 // parallelFor splits [0, n) across the shared worker pool and runs
-// fn(start, end) on each chunk concurrently. The indices here are
-// GEMM/im2col rows carrying substantial per-index work, so the serial
-// cutoff is far below the pool's vector-element default.
+// fn(start, end) on each chunk concurrently; see gemmMinWork.
+//
+//irfusion:hotpath-allow thin wrapper over ForMin; closures allocate only on the parallel dispatch path
 func parallelFor(n int, fn func(start, end int)) {
-	parallel.Default().ForMin(n, 64, fn)
+	parallel.Default().ForMin(n, gemmMinWork, fn)
+}
+
+// serialFor reports whether parallelFor would run serially; hot
+// kernels branch on it to skip the closure a dispatch constructs.
+//
+//irfusion:hotpath
+func serialFor(n int) bool {
+	return parallel.Default().SerialForMin(n, gemmMinWork)
 }
 
 // gemm computes C = A·B (+C when accumulate) for row-major dense
 // matrices: A is m×k, B is k×n, C is m×n. The (i,k,j) loop order keeps
 // the inner loop streaming over B and C rows; rows of C are
 // parallelized across cores.
+//
+//irfusion:hotpath
 func gemm(a []float64, b []float64, c []float64, m, k, n int, accumulate bool) {
 	cGemm.Inc()
+	if m <= 0 {
+		return
+	}
+	if serialFor(m) {
+		cForSerial.Inc()
+		gemmRange(a, b, c, k, n, accumulate, 0, m)
+		return
+	}
 	parallelFor(m, func(start, end int) {
-		for i := start; i < end; i++ {
-			ci := c[i*n : (i+1)*n]
-			if !accumulate {
-				for j := range ci {
-					ci[j] = 0
-				}
-			}
-			ai := a[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := ai[p]
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
+		gemmRange(a, b, c, k, n, accumulate, start, end)
+	})
+}
+
+// gemmRange is the serial C = A·B leaf over rows [start, end).
+//
+//irfusion:hotpath
+func gemmRange(a, b, c []float64, k, n int, accumulate bool, start, end int) {
+	for i := start; i < end; i++ {
+		ci := c[i*n : (i+1)*n]
+		if !accumulate {
+			for j := range ci {
+				ci[j] = 0
 			}
 		}
-	})
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 { //irfusion:exact skipping exactly zero multiplicands changes no bits of the sum; near-zero values must still multiply
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
 }
 
 // gemmTA computes C = Aᵀ·B (+C when accumulate): A is k×m (so Aᵀ is
 // m×k), B is k×n, C is m×n.
+//
+//irfusion:hotpath
 func gemmTA(a []float64, b []float64, c []float64, m, k, n int, accumulate bool) {
 	cGemm.Inc()
+	if m <= 0 {
+		return
+	}
+	if serialFor(m) {
+		cForSerial.Inc()
+		gemmTARange(a, b, c, m, k, n, accumulate, 0, m)
+		return
+	}
 	parallelFor(m, func(start, end int) {
-		for i := start; i < end; i++ {
-			ci := c[i*n : (i+1)*n]
-			if !accumulate {
-				for j := range ci {
-					ci[j] = 0
-				}
-			}
-			for p := 0; p < k; p++ {
-				av := a[p*m+i]
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
+		gemmTARange(a, b, c, m, k, n, accumulate, start, end)
+	})
+}
+
+// gemmTARange is the serial C = Aᵀ·B leaf over rows [start, end).
+//
+//irfusion:hotpath
+func gemmTARange(a, b, c []float64, m, k, n int, accumulate bool, start, end int) {
+	for i := start; i < end; i++ {
+		ci := c[i*n : (i+1)*n]
+		if !accumulate {
+			for j := range ci {
+				ci[j] = 0
 			}
 		}
-	})
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			if av == 0 { //irfusion:exact skipping exactly zero multiplicands changes no bits of the sum; near-zero values must still multiply
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
 }
 
 // gemmTB computes C = A·Bᵀ (+C when accumulate): A is m×k, B is n×k,
 // C is m×n.
+//
+//irfusion:hotpath
 func gemmTB(a []float64, b []float64, c []float64, m, k, n int, accumulate bool) {
 	cGemm.Inc()
+	if m <= 0 {
+		return
+	}
+	if serialFor(m) {
+		cForSerial.Inc()
+		gemmTBRange(a, b, c, k, n, accumulate, 0, m)
+		return
+	}
 	parallelFor(m, func(start, end int) {
-		for i := start; i < end; i++ {
-			ai := a[i*k : (i+1)*k]
-			ci := c[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := b[j*k : (j+1)*k]
-				sum := 0.0
-				for p := 0; p < k; p++ {
-					sum += ai[p] * bj[p]
-				}
-				if accumulate {
-					ci[j] += sum
-				} else {
-					ci[j] = sum
-				}
+		gemmTBRange(a, b, c, k, n, accumulate, start, end)
+	})
+}
+
+// gemmTBRange is the serial C = A·Bᵀ leaf over rows [start, end).
+//
+//irfusion:hotpath
+func gemmTBRange(a, b, c []float64, k, n int, accumulate bool, start, end int) {
+	for i := start; i < end; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			sum := 0.0
+			for p := 0; p < k; p++ {
+				sum += ai[p] * bj[p]
+			}
+			if accumulate {
+				ci[j] += sum
+			} else {
+				ci[j] = sum
 			}
 		}
-	})
+	}
 }

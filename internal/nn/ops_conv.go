@@ -93,68 +93,104 @@ func Conv2D(tp *Tape, x, w, b *Tensor, stride, pad int) *Tensor {
 
 // im2col unrolls input patches into columns: cols[k, oh*ow] with
 // k = ic*kh*kw.
+//
+//irfusion:hotpath
 func im2col(img, cols []float64, ic, ih, iw, kh, kw, stride, pad, oh, ow int) {
-	parallelFor(ic*kh*kw, func(start, end int) {
-		for row := start; row < end; row++ {
-			c := row / (kh * kw)
-			rem := row % (kh * kw)
-			dy := rem / kw
-			dx := rem % kw
-			dst := row * oh * ow
-			for oy := 0; oy < oh; oy++ {
-				sy := oy*stride + dy - pad
-				if sy < 0 || sy >= ih {
-					for ox := 0; ox < ow; ox++ {
-						cols[dst] = 0
-						dst++
-					}
-					continue
-				}
-				srcBase := (c*ih + sy) * iw
+	rows := ic * kh * kw
+	if rows <= 0 {
+		return
+	}
+	if serialFor(rows) {
+		cForSerial.Inc()
+		im2colRange(img, cols, ih, iw, kh, kw, stride, pad, oh, ow, 0, rows)
+		return
+	}
+	parallelFor(rows, func(start, end int) {
+		im2colRange(img, cols, ih, iw, kh, kw, stride, pad, oh, ow, start, end)
+	})
+}
+
+// im2colRange unrolls patch rows [start, end) into columns.
+//
+//irfusion:hotpath
+func im2colRange(img, cols []float64, ih, iw, kh, kw, stride, pad, oh, ow, start, end int) {
+	for row := start; row < end; row++ {
+		c := row / (kh * kw)
+		rem := row % (kh * kw)
+		dy := rem / kw
+		dx := rem % kw
+		dst := row * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			sy := oy*stride + dy - pad
+			if sy < 0 || sy >= ih {
 				for ox := 0; ox < ow; ox++ {
-					sx := ox*stride + dx - pad
-					if sx < 0 || sx >= iw {
-						cols[dst] = 0
-					} else {
-						cols[dst] = img[srcBase+sx]
-					}
+					cols[dst] = 0
 					dst++
 				}
+				continue
+			}
+			srcBase := (c*ih + sy) * iw
+			for ox := 0; ox < ow; ox++ {
+				sx := ox*stride + dx - pad
+				if sx < 0 || sx >= iw {
+					cols[dst] = 0
+				} else {
+					cols[dst] = img[srcBase+sx]
+				}
+				dst++
 			}
 		}
-	})
+	}
 }
 
 // col2im scatters column gradients back into the image gradient
 // (accumulating).
+//
+//irfusion:hotpath
 func col2im(cols, img []float64, ic, ih, iw, kh, kw, stride, pad, oh, ow int) {
+	if ic <= 0 {
+		return
+	}
 	// Parallelize over channels: rows of the same channel write to
 	// disjoint channel planes only if we group by c.
+	if serialFor(ic) {
+		cForSerial.Inc()
+		col2imRange(cols, img, ih, iw, kh, kw, stride, pad, oh, ow, 0, ic)
+		return
+	}
 	parallelFor(ic, func(cStart, cEnd int) {
-		for c := cStart; c < cEnd; c++ {
-			for dy := 0; dy < kh; dy++ {
-				for dx := 0; dx < kw; dx++ {
-					row := (c*kh+dy)*kw + dx
-					src := row * oh * ow
-					for oy := 0; oy < oh; oy++ {
-						sy := oy*stride + dy - pad
-						if sy < 0 || sy >= ih {
-							src += ow
-							continue
+		col2imRange(cols, img, ih, iw, kh, kw, stride, pad, oh, ow, cStart, cEnd)
+	})
+}
+
+// col2imRange scatters the columns of channels [cStart, cEnd) back
+// into their image planes.
+//
+//irfusion:hotpath
+func col2imRange(cols, img []float64, ih, iw, kh, kw, stride, pad, oh, ow, cStart, cEnd int) {
+	for c := cStart; c < cEnd; c++ {
+		for dy := 0; dy < kh; dy++ {
+			for dx := 0; dx < kw; dx++ {
+				row := (c*kh+dy)*kw + dx
+				src := row * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*stride + dy - pad
+					if sy < 0 || sy >= ih {
+						src += ow
+						continue
+					}
+					dstBase := (c*ih + sy) * iw
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*stride + dx - pad
+						if sx >= 0 && sx < iw {
+							img[dstBase+sx] += cols[src]
 						}
-						dstBase := (c*ih + sy) * iw
-						for ox := 0; ox < ow; ox++ {
-							sx := ox*stride + dx - pad
-							if sx >= 0 && sx < iw {
-								img[dstBase+sx] += cols[src]
-							}
-							src++
-						}
+						src++
 					}
 				}
 			}
 		}
-	})
+	}
 }
 
 // MaxPool2x2 performs 2×2 max pooling with stride 2. Odd trailing

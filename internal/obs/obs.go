@@ -42,12 +42,18 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n.
+//
+//irfusion:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//irfusion:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Load returns the current value.
+//
+//irfusion:hotpath
 func (c *Counter) Load() int64 { return c.v.Load() }
 
 var (

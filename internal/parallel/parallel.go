@@ -136,10 +136,29 @@ func worker(tasks chan func()) {
 }
 
 // Workers returns the pool's worker count (including the caller).
+//
+//irfusion:hotpath
 func (p *Pool) Workers() int { return p.workers }
 
 // MinWork returns the serial-fallback threshold.
+//
+//irfusion:hotpath
 func (p *Pool) MinWork() int { return p.minWork }
+
+// SerialFor reports whether a For of n iterations would run on the
+// calling goroutine. Hot kernels branch on it to run their plain
+// serial loop directly — skipping the closure construction a pool
+// dispatch needs — which is what keeps their serial steady state
+// allocation-free (see the //irfusion:hotpath contract).
+//
+//irfusion:hotpath
+func (p *Pool) SerialFor(n int) bool { return p.serial() || n < p.minWork }
+
+// SerialForMin is SerialFor with an explicit threshold, matching
+// ForMin.
+//
+//irfusion:hotpath
+func (p *Pool) SerialForMin(n, minWork int) bool { return p.serial() || n < minWork }
 
 // SetMinWork sets the serial-fallback threshold (clamped to >= 1) and
 // returns the pool for chaining. Not safe to call concurrently with
@@ -163,6 +182,8 @@ func (p *Pool) Close() {
 }
 
 // serial reports whether dispatch must run on the calling goroutine.
+//
+//irfusion:hotpath
 func (p *Pool) serial() bool {
 	return p.tasks == nil || p.workers <= 1 || p.closed.Load()
 }
@@ -199,6 +220,8 @@ submit:
 // exactly once; fn must be safe to call concurrently on disjoint
 // ranges. Elementwise updates are bitwise identical at every worker
 // count.
+//
+//irfusion:hotpath-allow closures and chunk bookkeeping allocate only on the parallel dispatch path; kernels use SerialFor to skip it entirely when serial
 func (p *Pool) For(n int, fn func(lo, hi int)) {
 	p.ForMin(n, p.minWork, fn)
 }
@@ -206,6 +229,8 @@ func (p *Pool) For(n int, fn func(lo, hi int)) {
 // ForMin is For with an explicit serial-fallback threshold, for
 // kernels whose per-index cost differs wildly from the vector-op
 // default (e.g. GEMM rows, where each index is O(k·n) flops).
+//
+//irfusion:hotpath-allow closures and chunk bookkeeping allocate only on the parallel dispatch path; kernels use SerialForMin to skip it entirely when serial
 func (p *Pool) ForMin(n, minWork int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -248,6 +273,8 @@ func (p *Pool) ForMin(n, minWork int, fn func(lo, hi int)) {
 // spare. Unlike For it applies no size threshold: callers use Do when
 // they have already partitioned the work into balanced tasks (e.g.
 // nnz-balanced CSR row ranges).
+//
+//irfusion:hotpath-allow closures allocate only on the parallel dispatch path; serial callers hit the plain loop
 func (p *Pool) Do(k int, fn func(i int)) {
 	if k <= 0 {
 		return
@@ -285,6 +312,8 @@ func (p *Pool) Do(k int, fn func(i int)) {
 // worker count. Below the threshold — or on a single-worker pool —
 // it degenerates to the plain serial accumulation fn(0, n),
 // preserving the seed's serial results bit-for-bit.
+//
+//irfusion:hotpath-allow the block-partial buffer allocates only on the parallel dispatch path; kernels use SerialFor to skip it entirely when serial
 func (p *Pool) ReduceSum(n int, fn func(lo, hi int) float64) float64 {
 	if n <= 0 {
 		return 0
@@ -318,6 +347,8 @@ var defaultPool atomic.Pointer[Pool]
 // Default returns the process-wide pool, creating it from the
 // environment (IRFUSION_WORKERS, IRFUSION_PAR_THRESHOLD, falling back
 // to GOMAXPROCS) on first use.
+//
+//irfusion:hotpath-allow one-time pool construction on first use; steady state is a single atomic load
 func Default() *Pool {
 	if p := defaultPool.Load(); p != nil {
 		return p

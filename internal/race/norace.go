@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the race detector is compiled in, the
+// stdlib idiom (internal/race in the Go runtime) used to skip tests
+// whose assertions — allocation counts, timing windows — the
+// detector's instrumentation invalidates.
+package race
+
+// Enabled is true when the build has the race detector compiled in.
+const Enabled = false

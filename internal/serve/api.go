@@ -327,7 +327,7 @@ func (s *Server) prepare(req *AnalyzeRequest) (*pgen.Design, error) {
 		if cfg.W > s.cfg.MaxDesignSize || cfg.H > s.cfg.MaxDesignSize {
 			return nil, fmt.Errorf("pgen: die size %dx%d exceeds limit %d", cfg.W, cfg.H, s.cfg.MaxDesignSize)
 		}
-		if cfg.VDD == 0 {
+		if cfg.VDD == 0 { //irfusion:exact an unset JSON field decodes to exactly zero, selecting the class default
 			base := pgen.DefaultConfig(cfg.Name, cfg.Class, cfg.W, cfg.H, cfg.Seed)
 			base.Name = cfg.Name
 			if cfg.Layers != nil {
@@ -441,18 +441,29 @@ func (s *Server) runJob(j *Job) {
 		j.finalizeKind(StatusCancelled, err.Error(), errKindCancelled, result)
 	default:
 		cFailed.Inc()
-		msg, kind := err.Error(), ""
-		switch {
-		case errors.Is(err, errWorkerPanic):
-			kind = errKindPanic
-		case errors.Is(err, core.ErrLadderExhausted):
-			kind = errKindExhausted
-		case errors.Is(err, context.DeadlineExceeded):
-			kind = errKindTimeout
-			msg = fmt.Sprintf("deadline exceeded: %v", err)
-		}
+		kind, msg := failureKind(err)
 		j.finalizeKind(StatusFailed, msg, kind, result)
 	}
+}
+
+// failureKind maps a failed job's error onto its structured
+// error_kind. The mapping is driven entirely by errors.Is, so every
+// wrap site on the failure paths — PCGCtx's cancellation wraps, the
+// ladder's exhaustion wrap, the worker panic barrier — must use %w
+// (enforced by the errwrap lint rule; identity pinned by
+// TestFailureKindSeesThroughWrapping).
+func failureKind(err error) (kind, msg string) {
+	msg = err.Error()
+	switch {
+	case errors.Is(err, errWorkerPanic):
+		kind = errKindPanic
+	case errors.Is(err, core.ErrLadderExhausted):
+		kind = errKindExhausted
+	case errors.Is(err, context.DeadlineExceeded):
+		kind = errKindTimeout
+		msg = fmt.Sprintf("deadline exceeded: %v", err)
+	}
+	return kind, msg
 }
 
 // errWorkerPanic marks an analysis that died by panic and was

@@ -1,0 +1,60 @@
+package solver
+
+// Zero-allocation regression guards for the preconditioner hot paths;
+// see internal/sparse/alloc_test.go for the pattern rationale.
+
+import (
+	"testing"
+
+	"irfusion/internal/parallel"
+	"irfusion/internal/race"
+	"irfusion/internal/sparse"
+)
+
+func pinSerialPool(t *testing.T) {
+	t.Helper()
+	prev := parallel.SetDefault(parallel.New(1))
+	t.Cleanup(func() { parallel.SetDefault(prev) })
+}
+
+func requireZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	fn()
+	if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+		t.Errorf("%s: %v allocs per run in steady state, want 0", name, allocs)
+	}
+}
+
+func allocTestSystem() (*sparse.CSR, []float64, []float64) {
+	a := laplacian2D(16, 16)
+	n := a.Rows()
+	z := make([]float64, n)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%9) + 1
+	}
+	return a, z, r
+}
+
+func TestZeroAllocIdentityApply(t *testing.T) {
+	pinSerialPool(t)
+	_, z, r := allocTestSystem()
+	requireZeroAllocs(t, "Identity.Apply", func() { Identity{}.Apply(z, r) })
+}
+
+func TestZeroAllocJacobiApply(t *testing.T) {
+	pinSerialPool(t)
+	a, z, r := allocTestSystem()
+	j := NewJacobi(a)
+	requireZeroAllocs(t, "Jacobi.Apply", func() { j.Apply(z, r) })
+}
+
+func TestZeroAllocSSORApply(t *testing.T) {
+	pinSerialPool(t)
+	a, z, r := allocTestSystem()
+	s := NewSSOR(a, 1)
+	requireZeroAllocs(t, "SSOR.Apply", func() { s.Apply(z, r) })
+}

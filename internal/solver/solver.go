@@ -28,7 +28,14 @@ type Preconditioner interface {
 type Identity struct{}
 
 // Apply copies r into z.
+//
+//irfusion:hotpath
 func (Identity) Apply(z, r []float64) { copy(z, r) }
+
+// cForSerial accounts the serial fast paths of the preconditioner
+// kernels under the pool's own elementwise-serial counter, keeping
+// pool-utilization numbers honest (same idiom as package sparse).
+var cForSerial = obs.GlobalCounter("parallel.for.serial")
 
 // Jacobi is diagonal scaling, the cheapest nontrivial preconditioner
 // and a classic baseline against AMG.
@@ -41,7 +48,7 @@ func NewJacobi(a *sparse.CSR) *Jacobi {
 	d := a.Diag()
 	inv := make([]float64, len(d))
 	for i, v := range d {
-		if v != 0 {
+		if v != 0 { //irfusion:exact an absent diagonal reads as exactly zero; its inverse stays zero so the row is skipped
 			inv[i] = 1 / v
 		}
 	}
@@ -49,12 +56,31 @@ func NewJacobi(a *sparse.CSR) *Jacobi {
 }
 
 // Apply computes z = D⁻¹·r.
+//
+//irfusion:hotpath
 func (j *Jacobi) Apply(z, r []float64) {
-	parallel.Default().For(len(r), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			z[i] = j.InvDiag[i] * r[i]
-		}
+	n := len(r)
+	if n == 0 {
+		return
+	}
+	pool := parallel.Default()
+	if pool.SerialFor(n) {
+		cForSerial.Inc()
+		jacobiApplyRange(z, r, j.InvDiag, 0, n)
+		return
+	}
+	pool.For(n, func(lo, hi int) {
+		jacobiApplyRange(z, r, j.InvDiag, lo, hi)
 	})
+}
+
+// jacobiApplyRange is the serial z = D⁻¹·r leaf over [lo, hi).
+//
+//irfusion:hotpath
+func jacobiApplyRange(z, r, invDiag []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		z[i] = invDiag[i] * r[i]
+	}
 }
 
 // Options controls a PCG run.
@@ -179,7 +205,7 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 	}
 
 	bn := sparse.Norm2(b)
-	if bn == 0 {
+	if bn == 0 { //irfusion:exact a zero right-hand side has the exact solution x = 0; any nonzero norm must run the solve
 		sparse.Zero(x)
 		return Result{Converged: true}, nil
 	}
@@ -195,7 +221,7 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 	if opts.Record {
 		res.History = append(res.History, rel)
 	}
-	if rel == 0 || (opts.Tol > 0 && rel < opts.Tol) {
+	if rel == 0 || (opts.Tol > 0 && rel < opts.Tol) { //irfusion:exact an exactly zero residual means the guess already solves the system; Tol=0 budget solves must not stop on merely-small residuals
 		res.Converged = true
 		res.Residual = rel
 		return res, nil
@@ -208,7 +234,7 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 		return res, ErrBreakdown
 	}
 	if rz <= 0 {
-		if rz == 0 {
+		if rz == 0 { //irfusion:exact exact-zero inner product is sub-machine-precision convergence; negative is indefiniteness — the sign split must be exact
 			// r·M⁻¹r underflowed to exact zero: the residual is solved
 			// to beyond machine precision. Converged, not indefinite.
 			res.Converged = true
@@ -251,7 +277,7 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 			return res, ErrBreakdown
 		}
 		if pap <= 0 {
-			if pap == 0 {
+			if pap == 0 { //irfusion:exact exact-zero curvature means no representable progress; negative means indefinite — the sign split must be exact
 				// Search-direction curvature underflowed to zero: no
 				// further progress is representable. Treat as converged
 				// at the current (sub-machine-precision) residual.
@@ -278,7 +304,7 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 		if opts.Record {
 			res.History = append(res.History, rel)
 		}
-		if rel == 0 || (opts.Tol > 0 && rel < opts.Tol) {
+		if rel == 0 || (opts.Tol > 0 && rel < opts.Tol) { //irfusion:exact an exactly zero residual is solved; Tol=0 budget solves must not stop on merely-small residuals
 			res.Converged = true
 			break
 		}
@@ -314,7 +340,7 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 			return res, ErrBreakdown
 		}
 		if rzNew <= 0 {
-			if rzNew == 0 {
+			if rzNew == 0 { //irfusion:exact exact-zero preconditioned residual is sub-machine-precision convergence; the sign split must be exact
 				// Same underflow situation as above: the preconditioned
 				// residual vanished at machine scale.
 				res.Converged = true
@@ -349,7 +375,7 @@ func RelResidual(a *sparse.CSR, x, b []float64) float64 {
 		}
 	})
 	bn := sparse.Norm2(b)
-	if bn == 0 {
+	if bn == 0 { //irfusion:exact a zero right-hand side switches to the absolute residual; no tolerance is meaningful here
 		return sparse.Norm2(r)
 	}
 	return sparse.Norm2(r) / bn
@@ -387,6 +413,8 @@ func NewSSOR(a *sparse.CSR, sweeps int) *SSOR {
 }
 
 // Apply runs the symmetric sweeps.
+//
+//irfusion:hotpath
 func (s *SSOR) Apply(z, r []float64) {
 	sparse.Zero(z)
 	sparse.SymmetricGaussSeidel(s.A, z, r, s.Sweeps)

@@ -11,6 +11,11 @@ import (
 // D⁻¹A, targeting the upper part [λmax/ratio, λmax] of its spectrum.
 // Unlike Gauss-Seidel it contains no sequential dependency, which is
 // why multigrid solvers favour it on parallel hardware.
+//
+// A Chebyshev smooths one system at a time: Smooth reuses scratch
+// vectors allocated at construction, so concurrent Smooth calls on
+// the same value are a data race. Multigrid hierarchies build one
+// smoother per level per request, which satisfies this naturally.
 type Chebyshev struct {
 	a       *CSR
 	invDiag []float64
@@ -19,6 +24,10 @@ type Chebyshev struct {
 	LambdaMax float64
 	// Ratio sets λmin = λmax/Ratio (30 is the common multigrid pick).
 	Ratio float64
+
+	// Scratch vectors of Smooth, allocated once at construction so
+	// repeated smoothing sweeps allocate nothing in steady state.
+	r, d, tmp []float64
 }
 
 // NewChebyshev builds the smoother. λmax(D⁻¹A) is bounded with the
@@ -33,14 +42,17 @@ func NewChebyshev(a *CSR, degree, powerIters int) *Chebyshev {
 	diag := a.Diag()
 	inv := make([]float64, n)
 	for i, d := range diag {
-		if d != 0 {
+		if d != 0 { //irfusion:exact an absent diagonal reads as exactly zero; its inverse stays zero so the row is skipped
 			inv[i] = 1 / d
 		}
 	}
-	c := &Chebyshev{a: a, invDiag: inv, Degree: degree, Ratio: 30}
+	c := &Chebyshev{
+		a: a, invDiag: inv, Degree: degree, Ratio: 30,
+		r: make([]float64, n), d: make([]float64, n), tmp: make([]float64, n),
+	}
 	gersh := 0.0
 	for i := 0; i < n; i++ {
-		if diag[i] == 0 {
+		if diag[i] == 0 { //irfusion:exact rows without a stored diagonal are excluded from the spectrum bound
 			continue
 		}
 		row := 0.0
@@ -51,7 +63,7 @@ func NewChebyshev(a *CSR, degree, powerIters int) *Chebyshev {
 			gersh = g
 		}
 	}
-	if gersh == 0 {
+	if gersh == 0 { //irfusion:exact an all-skipped matrix yields exactly zero; fall back to a unit bound
 		gersh = 1
 	}
 	c.LambdaMax = gersh
@@ -60,6 +72,10 @@ func NewChebyshev(a *CSR, degree, powerIters int) *Chebyshev {
 }
 
 // Smooth performs Degree Chebyshev steps improving x for A·x = b.
+// Scratch lives on the receiver, so steady-state smoothing allocates
+// nothing; see the concurrency note on Chebyshev.
+//
+//irfusion:hotpath
 func (c *Chebyshev) Smooth(x, b []float64) {
 	n := c.a.Rows()
 	lmax := c.LambdaMax
@@ -68,39 +84,92 @@ func (c *Chebyshev) Smooth(x, b []float64) {
 	delta := (lmax - lmin) / 2
 
 	pool := parallel.Default()
-	r := make([]float64, n)
-	d := make([]float64, n)
+	serial := pool.SerialFor(n)
+	r, d, tmp := c.r, c.d, c.tmp
 	c.a.MulVec(r, x)
-	pool.For(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			r[i] = (b[i] - r[i]) * c.invDiag[i]
-		}
-	})
+	if serial {
+		cForSerial.Inc()
+		chebResidualRange(r, b, c.invDiag, 0, n)
+	} else {
+		pool.For(n, func(lo, hi int) {
+			chebResidualRange(r, b, c.invDiag, lo, hi)
+		})
+	}
 	sigma := theta / delta
 	rho := 1 / sigma
-	pool.For(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d[i] = r[i] / theta
-		}
-	})
-	tmp := make([]float64, n)
-	for k := 0; k < c.Degree; k++ {
+	if serial {
+		cForSerial.Inc()
+		chebInitRange(d, r, theta, 0, n)
+	} else {
 		pool.For(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				x[i] += d[i]
-			}
+			chebInitRange(d, r, theta, lo, hi)
 		})
+	}
+	for k := 0; k < c.Degree; k++ {
+		if serial {
+			cForSerial.Inc()
+			addRange(x, d, 0, n)
+		} else {
+			pool.For(n, func(lo, hi int) {
+				addRange(x, d, lo, hi)
+			})
+		}
 		if k == c.Degree-1 {
 			break
 		}
 		c.a.MulVec(tmp, d)
 		rhoNew := 1 / (2*sigma - rho)
-		pool.For(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				r[i] -= tmp[i] * c.invDiag[i]
-				d[i] = rhoNew * (rho*d[i] + 2*r[i]/delta)
-			}
-		})
+		if serial {
+			cForSerial.Inc()
+			chebStepRange(r, d, tmp, c.invDiag, rho, rhoNew, delta, 0, n)
+		} else {
+			// Capture copies: closing over rho itself (reassigned
+			// below) would force it onto the heap even on the serial
+			// path, costing the zero-alloc guarantee.
+			rhoK, rhoNewK := rho, rhoNew
+			pool.For(n, func(lo, hi int) {
+				chebStepRange(r, d, tmp, c.invDiag, rhoK, rhoNewK, delta, lo, hi)
+			})
+		}
 		rho = rhoNew
+	}
+}
+
+// chebResidualRange forms the preconditioned residual r = D⁻¹(b - A·x)
+// on [lo, hi), where r arrives holding A·x.
+//
+//irfusion:hotpath
+func chebResidualRange(r, b, invDiag []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r[i] = (b[i] - r[i]) * invDiag[i]
+	}
+}
+
+// chebInitRange seeds the first search direction d = r/θ on [lo, hi).
+//
+//irfusion:hotpath
+func chebInitRange(d, r []float64, theta float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d[i] = r[i] / theta
+	}
+}
+
+// addRange computes x += d on [lo, hi).
+//
+//irfusion:hotpath
+func addRange(x, d []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		x[i] += d[i]
+	}
+}
+
+// chebStepRange applies one Chebyshev recurrence step on [lo, hi),
+// where tmp holds A·d.
+//
+//irfusion:hotpath
+func chebStepRange(r, d, tmp, invDiag []float64, rho, rhoNew, delta float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r[i] -= tmp[i] * invDiag[i]
+		d[i] = rhoNew * (rho*d[i] + 2*r[i]/delta)
 	}
 }

@@ -14,16 +14,22 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"irfusion/internal/obs"
 	"irfusion/internal/parallel"
 )
 
-// cSpmvSerial accounts the SpMV serial fast path (taken before any
-// pool dispatch, so the pool's own counters never see it) under the
-// shared serial-kernel counter, keeping the pool-utilization numbers
-// in run manifests and benchmarks honest.
-var cSpmvSerial = obs.GlobalCounter("parallel.do.serial")
+// Serial fast paths of the hot kernels (taken before any pool
+// dispatch, so the pool's own counters never see them) account under
+// the shared serial-kernel counters, keeping the pool-utilization
+// numbers in run manifests and benchmarks honest. Reduction-style
+// kernels (SpMV, Dot) count as do.serial, elementwise kernels (Axpy)
+// as for.serial, matching the pool's own classification.
+var (
+	cDoSerial  = obs.GlobalCounter("parallel.do.serial")
+	cForSerial = obs.GlobalCounter("parallel.for.serial")
+)
 
 // Triplet accumulates matrix entries in coordinate form. Duplicate
 // entries for the same (row, col) are summed when converting to CSR,
@@ -107,7 +113,7 @@ func (t *Triplet) ToCSR() *CSR {
 				sum += row[k].v
 				k++
 			}
-			if sum != 0 {
+			if sum != 0 { //irfusion:exact drop only entries that cancel to exactly zero; rounding residue must stay stored
 				m.ColInd = append(m.ColInd, j)
 				m.Val = append(m.Val, sum)
 			}
@@ -119,20 +125,44 @@ func (t *Triplet) ToCSR() *CSR {
 
 // CSR is a compressed-sparse-row matrix. Within each row, column
 // indices are strictly increasing.
+//
+// The sparsity structure (RowPtr, ColInd) is treated as immutable
+// once assembled: the parallel SpMV caches its nnz-balanced row
+// partition in the matrix (see partition), so callers that mutate the
+// structure of a matrix that has already been multiplied get stale
+// partitions. Mutating Val in place (Scale) is fine.
 type CSR struct {
 	RowsN, ColsN int
 	RowPtr       []int
 	ColInd       []int
 	Val          []float64
+
+	// part caches the nnz-balanced row partition of the parallel SpMV
+	// so steady-state multiplies allocate nothing. Keyed by the part
+	// count requested, which only changes when the worker pool is
+	// swapped.
+	part atomic.Pointer[csrPartition]
+}
+
+// csrPartition is one cached SpMV row partition.
+type csrPartition struct {
+	parts  int
+	bounds []int
 }
 
 // Rows returns the number of rows.
+//
+//irfusion:hotpath
 func (m *CSR) Rows() int { return m.RowsN }
 
 // Cols returns the number of columns.
+//
+//irfusion:hotpath
 func (m *CSR) Cols() int { return m.ColsN }
 
 // NNZ returns the number of stored entries.
+//
+//irfusion:hotpath
 func (m *CSR) NNZ() int { return len(m.Val) }
 
 // At returns A[i,j] (zero when the entry is not stored). Binary search
@@ -154,6 +184,8 @@ func (m *CSR) At(i, j int) float64 {
 // would be a data race even in exact arithmetic. Passing the same
 // slice for both panics; partially overlapping sub-slices are the
 // caller's responsibility and yield undefined results.
+//
+//irfusion:hotpath
 func (m *CSR) MulVec(y, x []float64) {
 	if len(x) != m.ColsN || len(y) != m.RowsN {
 		panic("sparse: MulVec dimension mismatch")
@@ -164,6 +196,8 @@ func (m *CSR) MulVec(y, x []float64) {
 
 // MulVecAdd computes y += A·x. The aliasing contract of MulVec
 // applies: y and x must not overlap.
+//
+//irfusion:hotpath
 func (m *CSR) MulVecAdd(y, x []float64) {
 	if len(x) != m.ColsN || len(y) != m.RowsN {
 		panic("sparse: MulVecAdd dimension mismatch")
@@ -176,6 +210,8 @@ func (m *CSR) MulVecAdd(y, x []float64) {
 // common aliasing mistake (passing the same slice twice). Overlap at
 // different offsets cannot be detected without unsafe and is instead
 // excluded by the documented contract.
+//
+//irfusion:hotpath
 func checkNoAlias(op string, y, x []float64) {
 	if len(y) > 0 && len(x) > 0 && &y[0] == &x[0] {
 		panic("sparse: " + op + ": y and x must not alias")
@@ -187,19 +223,24 @@ func checkNoAlias(op string, y, x []float64) {
 // serialize the sweep. Each y[i] is accumulated by exactly one worker
 // in column order, making the result bitwise identical at every
 // worker count, including the serial fallback.
+//
+//irfusion:hotpath
 func (m *CSR) spmv(y, x []float64, add bool) {
 	pool := parallel.Default()
-	if pool.Workers() <= 1 || m.NNZ() < pool.MinWork() {
-		cSpmvSerial.Inc()
+	if pool.SerialFor(m.NNZ()) {
+		cDoSerial.Inc()
 		m.spmvRange(y, x, 0, m.RowsN, add)
 		return
 	}
-	bounds := m.rowPartition(pool.Workers() * 4)
+	bounds := m.partition(pool.Workers() * 4)
 	pool.Do(len(bounds)-1, func(part int) {
 		m.spmvRange(y, x, bounds[part], bounds[part+1], add)
 	})
 }
 
+// spmvRange is the serial SpMV leaf over rows [lo, hi).
+//
+//irfusion:hotpath
 func (m *CSR) spmvRange(y, x []float64, lo, hi int, add bool) {
 	for i := lo; i < hi; i++ {
 		sum := 0.0
@@ -212,6 +253,22 @@ func (m *CSR) spmvRange(y, x []float64, lo, hi int, add bool) {
 			y[i] = sum
 		}
 	}
+}
+
+// partition returns the nnz-balanced row partition for the given part
+// count, computing it on first use and caching it in the matrix. The
+// part count only changes when the worker pool is swapped, so steady
+// state is one atomic load — which is what keeps the parallel SpMV
+// allocation-free per call.
+//
+//irfusion:hotpath-allow partition construction runs once per pool size; steady state is a single atomic load
+func (m *CSR) partition(parts int) []int {
+	if p := m.part.Load(); p != nil && p.parts == parts {
+		return p.bounds
+	}
+	bounds := m.rowPartition(parts)
+	m.part.Store(&csrPartition{parts: parts, bounds: bounds})
+	return bounds
 }
 
 // rowPartition splits the row range into at most parts contiguous
@@ -314,7 +371,7 @@ func (m *CSR) Mul(b *CSR) *CSR {
 		}
 		sort.Ints(cols)
 		for _, j := range cols {
-			if acc[j] != 0 {
+			if acc[j] != 0 { //irfusion:exact drop only products that cancel to exactly zero; rounding residue must stay stored
 				out.ColInd = append(out.ColInd, j)
 				out.Val = append(out.Val, acc[j])
 			}
@@ -391,36 +448,78 @@ func TripleProduct(p *CSR, a *CSR) *CSR {
 // the pool threshold it uses the deterministic blocked reduction of
 // the worker pool: the summation order depends only on the vector
 // length, so results are bitwise reproducible across runs and across
-// parallel worker counts (see parallel.Pool.ReduceSum).
+// parallel worker counts (see parallel.Pool.ReduceSum). The serial
+// fast path runs the same plain accumulation ReduceSum degenerates to
+// below threshold, so it is bitwise identical — it just skips the
+// closure the pool dispatch would construct.
+//
+//irfusion:hotpath
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("sparse: Dot length mismatch")
 	}
-	return parallel.Default().ReduceSum(len(a), func(lo, hi int) float64 {
-		s := 0.0
-		for i := lo; i < hi; i++ {
-			s += a[i] * b[i]
-		}
-		return s
+	if len(a) == 0 {
+		return 0
+	}
+	pool := parallel.Default()
+	if pool.SerialFor(len(a)) {
+		cDoSerial.Inc()
+		return dotRange(a, b, 0, len(a))
+	}
+	return pool.ReduceSum(len(a), func(lo, hi int) float64 {
+		return dotRange(a, b, lo, hi)
 	})
 }
 
+// dotRange is the serial inner-product leaf over [lo, hi).
+//
+//irfusion:hotpath
+func dotRange(a, b []float64, lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
 // Norm2 returns the Euclidean norm of v.
+//
+//irfusion:hotpath
 func Norm2(v []float64) float64 {
 	return math.Sqrt(Dot(v, v))
 }
 
 // Axpy computes y += alpha·x. Elementwise, so parallel execution is
 // bitwise identical to serial at every worker count.
+//
+//irfusion:hotpath
 func Axpy(alpha float64, x, y []float64) {
-	parallel.Default().For(len(x), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y[i] += alpha * x[i]
-		}
+	if len(x) == 0 {
+		return
+	}
+	pool := parallel.Default()
+	if pool.SerialFor(len(x)) {
+		cForSerial.Inc()
+		axpyRange(alpha, x, y, 0, len(x))
+		return
+	}
+	pool.For(len(x), func(lo, hi int) {
+		axpyRange(alpha, x, y, lo, hi)
 	})
 }
 
+// axpyRange is the serial y += alpha·x leaf over [lo, hi).
+//
+//irfusion:hotpath
+func axpyRange(alpha float64, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
 // Copy copies src into dst (lengths must match).
+//
+//irfusion:hotpath
 func Copy(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("sparse: Copy length mismatch")
@@ -429,6 +528,8 @@ func Copy(dst, src []float64) {
 }
 
 // Zero sets every element of v to zero.
+//
+//irfusion:hotpath
 func Zero(v []float64) {
 	for i := range v {
 		v[i] = 0

@@ -15,26 +15,53 @@ import "irfusion/internal/parallel"
 // scratch must have length n or be nil (allocated internally). The
 // residual product and the update are both row-parallel and bitwise
 // identical at every worker count.
+//
+// JacobiSweeps extracts the diagonal on every call; steady-state
+// callers that already hold it should use JacobiSweepsDiag, the
+// allocation-free core.
 func JacobiSweeps(a *CSR, x, b []float64, omega float64, k int, scratch []float64) {
-	n := a.Rows()
 	if scratch == nil {
-		scratch = make([]float64, n)
+		scratch = make([]float64, a.Rows())
 	}
-	d := a.Diag()
+	JacobiSweepsDiag(a, x, b, a.Diag(), omega, k, scratch)
+}
+
+// JacobiSweepsDiag is the allocation-free core of JacobiSweeps: the
+// caller supplies the extracted diagonal and a scratch vector of
+// length a.Rows(), so repeated sweeps (multigrid cycles) allocate
+// nothing in steady state.
+//
+//irfusion:hotpath
+func JacobiSweepsDiag(a *CSR, x, b, diag []float64, omega float64, k int, scratch []float64) {
+	n := a.Rows()
 	pool := parallel.Default()
 	for s := 0; s < k; s++ {
 		a.MulVec(scratch, x)
+		if pool.SerialFor(n) {
+			cForSerial.Inc()
+			jacobiUpdateRange(x, b, diag, scratch, omega, 0, n)
+			continue
+		}
 		pool.For(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				if d[i] != 0 {
-					x[i] += omega * (b[i] - scratch[i]) / d[i]
-				}
-			}
+			jacobiUpdateRange(x, b, diag, scratch, omega, lo, hi)
 		})
 	}
 }
 
+// jacobiUpdateRange applies the damped Jacobi update on rows [lo, hi).
+//
+//irfusion:hotpath
+func jacobiUpdateRange(x, b, diag, scratch []float64, omega float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if diag[i] != 0 { //irfusion:exact a stored zero diagonal marks a row the sweep must skip; a tiny nonzero must still divide
+			x[i] += omega * (b[i] - scratch[i]) / diag[i]
+		}
+	}
+}
+
 // GaussSeidelForward performs one forward Gauss-Seidel sweep.
+//
+//irfusion:hotpath
 func GaussSeidelForward(a *CSR, x, b []float64) {
 	for i := 0; i < a.RowsN; i++ {
 		sum := b[i]
@@ -47,13 +74,15 @@ func GaussSeidelForward(a *CSR, x, b []float64) {
 				sum -= a.Val[p] * x[j]
 			}
 		}
-		if diag != 0 {
+		if diag != 0 { //irfusion:exact an absent diagonal reads as exactly zero and the row is skipped; a tiny pivot must still divide
 			x[i] = sum / diag
 		}
 	}
 }
 
 // GaussSeidelBackward performs one backward Gauss-Seidel sweep.
+//
+//irfusion:hotpath
 func GaussSeidelBackward(a *CSR, x, b []float64) {
 	for i := a.RowsN - 1; i >= 0; i-- {
 		sum := b[i]
@@ -66,7 +95,7 @@ func GaussSeidelBackward(a *CSR, x, b []float64) {
 				sum -= a.Val[p] * x[j]
 			}
 		}
-		if diag != 0 {
+		if diag != 0 { //irfusion:exact an absent diagonal reads as exactly zero and the row is skipped; a tiny pivot must still divide
 			x[i] = sum / diag
 		}
 	}
@@ -75,6 +104,8 @@ func GaussSeidelBackward(a *CSR, x, b []float64) {
 // SymmetricGaussSeidel performs k symmetric (forward then backward)
 // Gauss-Seidel sweeps. Symmetry of the sweep keeps the induced
 // preconditioner symmetric, which PCG requires.
+//
+//irfusion:hotpath
 func SymmetricGaussSeidel(a *CSR, x, b []float64, k int) {
 	for s := 0; s < k; s++ {
 		GaussSeidelForward(a, x, b)
