@@ -8,7 +8,7 @@ GO ?= go
 # machines and miniature test grids.
 RACE_ENV = IRFUSION_WORKERS=4 IRFUSION_PAR_THRESHOLD=1
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-smoke manifest-smoke fuzz-smoke chaos-smoke cover-check
+.PHONY: all fmt fmt-check vet lint build test race bench bench-smoke bench-check bench-rebaseline manifest-smoke fuzz-smoke chaos-smoke cover-check
 
 all: fmt-check vet lint build test
 
@@ -41,12 +41,29 @@ test: build
 
 race:
 	$(RACE_ENV) $(GO) test -race ./...
+	$(RACE_ENV) $(GO) test -race -count=2 -run 'TestCacheConcurrent' ./internal/cache/
 
 bench: ## full benchmark sweep
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 bench-smoke: ## compile-and-run guard for the hot kernel benchmarks
 	$(GO) test -bench='BenchmarkSolverSpMV|BenchmarkParallelSpMV' -benchtime=1x -run='^$$' .
+
+# Bench-regression gate: runs the pinned benchmark set declared in
+# bench.baseline (fixed -benchtime=Nx iteration counts) and fails on a
+# regression past the tolerance band. Allocation counts and the
+# ECO-loop cold/hit speedup ratio are machine-independent and gate
+# strictly; wall-clock ns/op gates by a multiplicative factor —
+# BENCH_NS_FACTOR overrides the file's (CI passes a generous one
+# because runner hardware varies). Rebaseline only for reviewed,
+# accepted performance changes with `make bench-rebaseline`.
+BENCH_NS_FACTOR ?= 0
+
+bench-check: ## pinned benchmarks vs the committed bench.baseline
+	$(GO) run ./cmd/benchcheck -baseline bench.baseline -ns-factor $(BENCH_NS_FACTOR)
+
+bench-rebaseline: ## rewrite bench.baseline's measurements from this machine
+	$(GO) run ./cmd/benchcheck -baseline bench.baseline -update
 
 MANIFEST_OUT ?= /tmp/irfusion-manifest.json
 
@@ -62,21 +79,34 @@ manifest-smoke: ## end-to-end analyze run; fails when the run manifest is missin
 CHAOS_SPEC ?= solver.pcg:breakdown:label=numerical.amg
 CHAOS_MANIFEST ?= /tmp/irfusion-chaos-manifest.json
 
-chaos-smoke: ## full test suite + end-to-end analyze under an injected mid-ladder failure
+# The cache chaos profile attacks the artifact-cache layer of a cached
+# 4-repeat ECO loop: repeat 2's lookup returns a poisoned (stale)
+# golden solution — the residual guard must reject it — repeat 3 loses
+# its entry to a simulated eviction race mid-lookup, and every neighbor
+# search pays injected delta-check latency. The run must still produce
+# correct results on every repeat, and its manifest must prove the
+# cache both served (hit/stale events) and re-stored after each fault
+# (manifestcheck -cache).
+CACHE_CHAOS_SPEC ?= cache.lookup:stale:times=1;cache.lookup:evict:times=1,after=1;cache.delta:latency:delay=5ms
+CACHE_CHAOS_MANIFEST ?= /tmp/irfusion-cache-chaos-manifest.json
+
+chaos-smoke: ## full test suite + end-to-end analyze under injected mid-ladder and cache-layer failures
 	IRFUSION_FAULTS='$(CHAOS_SPEC)' $(GO) test ./...
 	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -faults '$(CHAOS_SPEC)' -manifest $(CHAOS_MANIFEST)
 	$(GO) run ./cmd/manifestcheck -degraded $(CHAOS_MANIFEST)
+	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -cache -repeat 4 -faults '$(CACHE_CHAOS_SPEC)' -manifest $(CACHE_CHAOS_MANIFEST)
+	$(GO) run ./cmd/manifestcheck -cache $(CACHE_CHAOS_MANIFEST)
 
 FUZZTIME ?= 30s
 
 fuzz-smoke: ## short fuzz run of the SPICE parser (panics and broken round trips fail the build)
 	$(GO) test -fuzz=FuzzParseSPICE -fuzztime=$(FUZZTIME) -run='^$$' ./internal/spice
 
-# Total-statement-coverage floor. Measured at 77.5% when recorded; the
-# margin absorbs run-to-run noise from timing-dependent serve paths.
-# Raise it when new tests push coverage up — never lower it to make a
-# PR pass.
-COVERAGE_BASELINE ?= 75.0
+# Total-statement-coverage floor. Measured at 76.1% when recorded
+# (stable across repeat runs); the margin absorbs run-to-run noise
+# from timing-dependent serve paths. Raise it when new tests push
+# coverage up — never lower it to make a PR pass.
+COVERAGE_BASELINE ?= 75.5
 COVER_PROFILE ?= /tmp/irfusion-cover.out
 
 cover-check: ## fail when total statement coverage drops below COVERAGE_BASELINE

@@ -9,12 +9,14 @@ package irfusion
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"irfusion/internal/amg"
+	"irfusion/internal/cache"
 	"irfusion/internal/circuit"
 	"irfusion/internal/core"
 	"irfusion/internal/dataset"
@@ -307,6 +309,58 @@ func BenchmarkEndToEndNumerical(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- ECO-loop caching (docs/CACHING.md) -------------------------------
+
+// BenchmarkCacheECOLoop measures one converged end-to-end analysis in
+// the three cache regimes of an ECO iteration loop:
+//
+//	cold  caching off — every run pays assembly + AMG setup + solve
+//	hit   identical design against a warm cache — fingerprint hit,
+//	      one guard SpMV replaces the whole ladder
+//	warm  a 1%-perturbed design against a cache holding only the
+//	      baseline — delta match, donor-preconditioned warm solve
+//	      (the stored variant artifact is dropped each iteration so
+//	      every op exercises the neighbor search, not an exact hit)
+//
+// bench-check pins cold/hit ≥ 2 as the machine-independent ECO-loop
+// speedup gate (see bench.baseline "ratios").
+func BenchmarkCacheECOLoop(b *testing.B) {
+	f := benchFixtures(b)
+	na := &core.NumericalAnalyzer{Iters: 0, Resolution: benchRes}
+	run := func(b *testing.B, ctx context.Context, d *pgen.Design, each func()) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := na.AnalyzeCtx(ctx, d); err != nil {
+				b.Fatal(err)
+			}
+			if each != nil {
+				each()
+			}
+		}
+	}
+	prime := func(b *testing.B) (*cache.Cache, context.Context) {
+		c := cache.New(0, 0)
+		ctx := cache.WithCache(context.Background(), c)
+		if _, _, _, err := na.AnalyzeCtx(ctx, f.design); err != nil {
+			b.Fatal(err)
+		}
+		return c, ctx
+	}
+	b.Run("cold", func(b *testing.B) {
+		run(b, context.Background(), f.design, nil)
+	})
+	b.Run("hit", func(b *testing.B) {
+		_, ctx := prime(b)
+		run(b, ctx, f.design, nil)
+	})
+	b.Run("warm", func(b *testing.B) {
+		c, ctx := prime(b)
+		eco := pgen.Perturb(f.design, 0.01, 99)
+		ecoKey := cache.SystemKey(cache.DesignFingerprint(eco))
+		run(b, ctx, eco, func() { c.Drop(ecoKey) })
+	})
 }
 
 func benchName(prefix string, k int) string {

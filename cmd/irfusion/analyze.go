@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"irfusion/internal/cache"
 	"irfusion/internal/core"
 	"irfusion/internal/grid"
 	"irfusion/internal/pgen"
@@ -33,11 +34,18 @@ func cmdAnalyze(args []string) error {
 	modelFile := fs.String("model-file", "", "trained checkpoint: run the fused numerical+ML pipeline")
 	pgm := fs.String("pgm", "", "write the drop map as PGM")
 	resFlag := fs.Int("res", 0, "raster resolution (default: die size or model resolution)")
+	useCache := fs.Bool("cache", false, "enable the process artifact cache (sized by IRFUSION_CACHE_BYTES/IRFUSION_CACHE_TTL)")
+	repeat := fs.Int("repeat", 1, "run the analysis N times under one manifest — with -cache, later runs hit or warm-start")
+	perturb := fs.Float64("perturb", 0, "ECO-style resistor perturbation fraction applied before each repeat after the first")
 	faultSpec := addFaultsFlag(fs)
 	of := addObsFlags(fs)
 	fs.Parse(args)
 	if err := applyFaults(*faultSpec); err != nil {
 		return err
+	}
+	if *useCache {
+		prev := cache.SetActive(cache.NewFromEnv())
+		defer cache.SetActive(prev)
 	}
 
 	// Resolve the design: parse a deck or generate one.
@@ -80,41 +88,68 @@ func cmdAnalyze(args []string) error {
 		"precond":    *precond,
 		"model_file": *modelFile,
 		"resolution": res,
+		"cache":      *useCache,
+		"repeat":     *repeat,
+		"perturb":    *perturb,
 	})
 
-	var (
-		m   *grid.Map
-		rt  time.Duration
-		err error
-	)
+	// Load the fused pipeline once; it is reused across repeats.
+	var analyzer *core.Analyzer
 	if *modelFile != "" {
-		mf, err2 := os.Open(*modelFile)
-		if err2 != nil {
-			return err2
+		mf, err := os.Open(*modelFile)
+		if err != nil {
+			return err
 		}
-		analyzer, err2 := core.LoadAnalyzer(mf)
+		analyzer, err = core.LoadAnalyzer(mf)
 		mf.Close()
-		if err2 != nil {
-			return err2
+		if err != nil {
+			return err
 		}
 		if *resFlag == 0 {
 			res = analyzer.Config.Resolution
 		}
 		analyzer.Config.RoughIters = max(1, *iters)
-		m, rt, err = analyzer.Analyze(d)
-		if err != nil {
+	}
+
+	runOne := func(dd *pgen.Design) (*grid.Map, error) {
+		var (
+			m   *grid.Map
+			rt  time.Duration
+			err error
+		)
+		if analyzer != nil {
+			m, rt, err = analyzer.Analyze(dd)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("fused pipeline: worst-case IR drop %.4g V (%.3fs)", m.Max(), rt.Seconds())
+		} else {
+			na := &core.NumericalAnalyzer{Iters: *iters, Resolution: res, Precond: *precond}
+			var resid float64
+			m, rt, resid, err = na.Analyze(dd)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("numerical: worst-case IR drop %.4g V, relative residual %.3g (%.3fs)",
+				m.Max(), resid, rt.Seconds())
+		}
+		return m, nil
+	}
+
+	var m *grid.Map
+	cur := d
+	for r := 0; r < max(1, *repeat); r++ {
+		if r > 0 && *perturb > 0 {
+			// Each repeat perturbs the ORIGINAL design, modeling a string
+			// of independent ECO candidates evaluated against a baseline —
+			// every variant stays within -perturb of the cached donor.
+			cur = pgen.Perturb(d, *perturb, *seed+int64(r))
+			log.Printf("repeat %d: perturbed design %q (frac %g)", r+1, cur.Name, *perturb)
+		}
+		var err error
+		if m, err = runOne(cur); err != nil {
 			return err
 		}
-		log.Printf("fused pipeline: worst-case IR drop %.4g V (%.3fs)", m.Max(), rt.Seconds())
-	} else {
-		na := &core.NumericalAnalyzer{Iters: *iters, Resolution: res, Precond: *precond}
-		var resid float64
-		m, rt, resid, err = na.Analyze(d)
-		if err != nil {
-			return err
-		}
-		log.Printf("numerical: worst-case IR drop %.4g V, relative residual %.3g (%.3fs)",
-			m.Max(), resid, rt.Seconds())
 	}
 
 	if *pgm != "" {

@@ -36,6 +36,9 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 2*time.Minute, "default per-request timeout (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight solves")
 	modelFile := fs.String("model-file", "", "trained checkpoint enabling fused mode")
+	noCache := fs.Bool("no-cache", false, "disable the per-process artifact cache (every request runs cold)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "artifact-cache size bound in bytes (0 = default)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "artifact-cache entry lifetime (0 = default)")
 	faultSpec := addFaultsFlag(fs)
 	of := addObsFlags(fs)
 	fs.Parse(args)
@@ -49,6 +52,9 @@ func cmdServe(args []string) error {
 		MaxBodyBytes:   *maxBody,
 		MaxDesignSize:  *maxSize,
 		DefaultTimeout: *timeout,
+		DisableCache:   *noCache,
+		CacheBytes:     *cacheBytes,
+		CacheTTL:       *cacheTTL,
 	}
 	if *modelFile != "" {
 		f, err := os.Open(*modelFile)
@@ -68,6 +74,7 @@ func cmdServe(args []string) error {
 		"addr": *addr, "workers": *workers, "queue": *queue,
 		"max_body": *maxBody, "max_size": *maxSize,
 		"timeout": timeout.String(), "model_file": *modelFile,
+		"cache": !*noCache,
 	})
 
 	svc := serve.New(cfg)

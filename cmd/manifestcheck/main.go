@@ -14,6 +14,13 @@
 // breaker skip — the gate of the chaos-smoke CI job, which runs the
 // pipeline under an injected fault profile and must prove the ladder
 // really degraded rather than silently sailing through.
+//
+// With -cache the check requires the manifest's cache section to show
+// real traffic: at least one store, and at least one hit, warm start,
+// or stale rejection — the gate of the cached chaos/smoke runs, which
+// repeat an analysis under one recorder and must prove the artifact
+// cache actually participated (and that poisoned entries were caught,
+// not served).
 package main
 
 import (
@@ -30,8 +37,10 @@ func main() {
 	log.SetFlags(0)
 	degraded := flag.Bool("degraded", false,
 		"require at least one degradation record showing a fallback, retry, or breaker skip")
+	wantCache := flag.Bool("cache", false,
+		"require a cache section with at least one store and one hit, warm start, or stale rejection")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-degraded] <manifest.json>")
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-degraded] [-cache] <manifest.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -40,13 +49,13 @@ func main() {
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
-	if err := check(path, *degraded); err != nil {
+	if err := check(path, *degraded, *wantCache); err != nil {
 		log.Fatalf("manifestcheck: %s: %v", path, err)
 	}
 	log.Printf("%s: ok", path)
 }
 
-func check(path string, wantDegraded bool) error {
+func check(path string, wantDegraded, wantCache bool) error {
 	m, err := obs.ReadManifestFile(path)
 	if err != nil {
 		return err
@@ -93,6 +102,29 @@ func check(path string, wantDegraded bool) error {
 		if !any {
 			return fmt.Errorf("-degraded: no degradation record shows a fallback, retry, or skip (%d records present) — the chaos profile did not bite", len(m.Degradations))
 		}
+	}
+	if wantCache {
+		if err := checkCache(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkCache enforces the cached-run invariants: the manifest carries
+// a cache section, the run stored at least one artifact, and at least
+// one lookup produced a hit, warm start, or stale rejection — i.e. the
+// cache was exercised end to end, not just attached.
+func checkCache(m *obs.Manifest) error {
+	c := m.Cache
+	if c == nil {
+		return fmt.Errorf("-cache: manifest has no cache section — the run never touched the artifact cache")
+	}
+	if c.Stores == 0 {
+		return fmt.Errorf("-cache: no store events recorded (%d cache events present)", len(c.Events))
+	}
+	if c.Hits+c.WarmStarts+c.Stale == 0 {
+		return fmt.Errorf("-cache: no hit, warm-start, or stale event recorded (%d stores) — repeats never consulted the cache", c.Stores)
 	}
 	return nil
 }

@@ -129,6 +129,47 @@ type Hierarchy struct {
 	opts   Options
 }
 
+// Clone returns a hierarchy sharing h's immutable setup products —
+// the level operators, prolongations, smoother coefficients, and the
+// coarse factorization — with freshly allocated cycling workspace, so
+// the clone can precondition a solve concurrently with h or any other
+// clone. Cloning reads only immutable fields, making it safe even
+// while another goroutine is mid-cycle on h. This is the contract the
+// artifact cache relies on: a stored hierarchy is never used directly,
+// every consumer clones it first, and the expensive setup (aggregation,
+// Galerkin products, Cholesky) is amortized across all of them.
+func (h *Hierarchy) Clone() *Hierarchy {
+	if h == nil {
+		return nil
+	}
+	out := &Hierarchy{
+		Levels: make([]*Level, len(h.Levels)),
+		coarse: h.coarse, // Solve writes only its output vector
+		opts:   h.opts,
+	}
+	for i, lvl := range h.Levels {
+		n := lvl.A.Rows()
+		nl := &Level{
+			A: lvl.A, P: lvl.P,
+			cheb: lvl.cheb.Clone(),
+			r:    make([]float64, n),
+			tmp:  make([]float64, n),
+		}
+		if i+1 < len(h.Levels) {
+			nc := h.Levels[i+1].A.Rows()
+			nl.kc1 = make([]float64, nc)
+			nl.kv1 = make([]float64, nc)
+			nl.kr = make([]float64, nc)
+			nl.kc2 = make([]float64, nc)
+			nl.kv2 = make([]float64, nc)
+			nl.krhs = make([]float64, nc)
+			nl.kx = make([]float64, nc)
+		}
+		out.Levels[i] = nl
+	}
+	return out
+}
+
 // ErrEmptyMatrix is returned when Build receives a 0×0 matrix.
 var ErrEmptyMatrix = errors.New("amg: empty matrix")
 

@@ -1,0 +1,334 @@
+// Package cache is the content-addressed artifact cache of the
+// analysis pipeline: the piece that turns ECO-loop traffic — the same
+// power grid re-analyzed after a strap edit — from full re-solves into
+// warm starts. It is stdlib-only and concurrency-safe.
+//
+// Artifacts are keyed by a canonical fingerprint of the design
+// (fingerprint.go): the SPICE deck is canonicalized — elements sorted,
+// names and whitespace dropped, values normalized, symmetric node
+// pairs ordered — and hashed, so two decks that describe the same
+// electrical network map to the same key regardless of element order
+// or formatting. On top of exact hits, artifact.go implements the
+// delta-solve path: a cached neighbor whose conductance matrix differs
+// in less than a configured fraction of entries donates its converged
+// solution (as a PCG warm start) and its AMG hierarchy (as a
+// preconditioner), skipping the dominant setup cost.
+//
+// The cache itself is a byte-bounded LRU with per-entry TTL. Every
+// operation is safe on a nil *Cache (a nil cache is simply "caching
+// off"), and the package follows the same context-or-global resolution
+// pattern as internal/obs and internal/faults: context-aware code
+// resolves the cache with ActiveOr(ctx), serving processes bind a
+// per-process cache with WithCache, and the CLI opts in by installing
+// a process-global cache with SetActive. The default global is nil, so
+// nothing is cached unless a caller asks for it.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"irfusion/internal/obs"
+)
+
+// Process-wide cache counters, registered in the obs global registry
+// so they surface in run manifests (as per-run deltas), /metricsz, and
+// the expvar debug endpoint.
+var (
+	cHit   = obs.GlobalCounter("cache.hit")
+	cMiss  = obs.GlobalCounter("cache.miss")
+	cStore = obs.GlobalCounter("cache.store")
+	cEvict = obs.GlobalCounter("cache.evict")
+)
+
+// Default sizing used by NewFromEnv when the environment does not say
+// otherwise.
+const (
+	DefaultMaxBytes = 256 << 20 // 256 MiB
+	DefaultTTL      = time.Hour
+)
+
+// Cache is a size-bounded LRU + TTL store of content-addressed
+// artifacts, shared by every worker of a serving process. All methods
+// are safe for concurrent use and safe on a nil receiver (a nil cache
+// never hits and never stores).
+type Cache struct {
+	maxBytes int64
+	ttl      time.Duration
+	now      func() time.Time // injectable clock for TTL tests
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	bytes   int64
+
+	hits, misses, stores, evicts, expired atomic.Int64
+}
+
+// entry is one cached artifact.
+type entry struct {
+	key    string
+	tag    string
+	value  any
+	bytes  int64
+	stored time.Time
+}
+
+// New returns a cache bounded to maxBytes of accounted artifact size
+// (<= 0 means DefaultMaxBytes) whose entries expire ttl after their
+// store (<= 0 means DefaultTTL).
+func New(maxBytes int64, ttl time.Duration) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		now:      time.Now,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+	}
+}
+
+// NewFromEnv builds a cache sized by the IRFUSION_CACHE_BYTES and
+// IRFUSION_CACHE_TTL environment variables (bytes and a Go duration),
+// falling back to the package defaults when unset or malformed.
+func NewFromEnv() *Cache {
+	maxBytes := int64(0)
+	if s := os.Getenv("IRFUSION_CACHE_BYTES"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			maxBytes = v
+		}
+	}
+	ttl := time.Duration(0)
+	if s := os.Getenv("IRFUSION_CACHE_TTL"); s != "" {
+		if v, err := time.ParseDuration(s); err == nil && v > 0 {
+			ttl = v
+		}
+	}
+	return New(maxBytes, ttl)
+}
+
+// Get returns the live value stored under key, refreshing its LRU
+// position. Expired entries are removed and count as misses.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		cMiss.Inc()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if c.expiredLocked(e) {
+		c.removeLocked(el)
+		c.expired.Add(1)
+		c.misses.Add(1)
+		cMiss.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	cHit.Inc()
+	return e.value, true
+}
+
+// Put stores value under key, accounting bytes toward the size bound
+// and evicting least-recently-used entries until the cache fits. The
+// tag groups comparable entries for ScanTag (neighbor search). A
+// value larger than the whole bound is still admitted — it simply
+// evicts everything else and will be the next victim.
+func (c *Cache) Put(key string, value any, bytes int64, tag string) {
+	if c == nil {
+		return
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+	}
+	e := &entry{key: key, tag: tag, value: value, bytes: bytes, stored: c.now()}
+	c.entries[key] = c.ll.PushFront(e)
+	c.bytes += bytes
+	c.stores.Add(1)
+	cStore.Inc()
+	for c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		victim := c.ll.Back()
+		c.removeLocked(victim)
+		c.evicts.Add(1)
+		cEvict.Inc()
+	}
+}
+
+// Drop removes the entry stored under key, if any — the reaction to a
+// guard check exposing a stale or corrupted artifact.
+func (c *Cache) Drop(key string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+		c.evicts.Add(1)
+		cEvict.Inc()
+	}
+}
+
+// ScanTag visits live entries carrying tag in most-recently-used
+// order, calling fn until it returns false or limit matches were
+// seen (limit <= 0 means unlimited). The callback runs under the
+// cache lock, so it must be cheap and must not call back into the
+// cache; copy what you need and compute outside.
+func (c *Cache) ScanTag(tag string, limit int, fn func(key string, value any) bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.tag == tag {
+			if c.expiredLocked(e) {
+				c.removeLocked(el)
+				c.expired.Add(1)
+			} else {
+				seen++
+				if !fn(e.key, e.value) {
+					return
+				}
+				if limit > 0 && seen >= limit {
+					return
+				}
+			}
+		}
+		el = next
+	}
+}
+
+// Stats is a point-in-time snapshot of cache occupancy and traffic,
+// rendered on /metricsz by the serving layer.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+	Expired   int64 `json:"expired"`
+}
+
+// Stats snapshots the cache. A nil cache reports the zero value.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Entries:   entries,
+		Bytes:     bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stores:    c.stores.Load(),
+		Evictions: c.evicts.Load(),
+		Expired:   c.expired.Load(),
+	}
+}
+
+// Len returns the number of live entries (including not-yet-collected
+// expired ones).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// expiredLocked reports whether e is past its TTL. Caller holds c.mu.
+func (c *Cache) expiredLocked(e *entry) bool {
+	return c.now().Sub(e.stored) > c.ttl
+}
+
+// removeLocked unlinks el from the list, index, and byte account.
+// Caller holds c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+}
+
+// activeCache is the process-global cache, nil by default: nothing is
+// cached unless a front end opts in with SetActive or a server binds
+// a cache into its job contexts with WithCache.
+var activeCache atomic.Pointer[Cache]
+
+// Active returns the process-global cache, or nil when caching is
+// off. Context-holding code must use ActiveOr instead (enforced by
+// the hooksafe lint rule) so a context-bound cache is not ignored.
+func Active() *Cache { return activeCache.Load() }
+
+// SetActive installs c (which may be nil) as the process-global cache
+// and returns the previous one, enabling save/restore in tests and
+// CLI runs:
+//
+//	prev := cache.SetActive(cache.NewFromEnv())
+//	defer cache.SetActive(prev)
+func SetActive(c *Cache) *Cache {
+	prev := activeCache.Load()
+	activeCache.Store(c)
+	return prev
+}
+
+// ctxKey is the private context key for a bound Cache.
+type ctxKey struct{}
+
+// WithCache returns a copy of ctx carrying c — how a serving process
+// shares one per-process cache across all worker jobs while keeping
+// the process-global slot untouched.
+func WithCache(ctx context.Context, c *Cache) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the cache bound to ctx, or nil when none is
+// bound (or ctx is nil).
+func FromContext(ctx context.Context) *Cache {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(ctxKey{}).(*Cache)
+	return c
+}
+
+// ActiveOr resolves the cache for a context-aware call: the
+// context-bound cache when present, otherwise the process-global
+// Active() one (which is usually nil — caching is opt-in).
+func ActiveOr(ctx context.Context) *Cache {
+	if c := FromContext(ctx); c != nil {
+		return c
+	}
+	return Active()
+}

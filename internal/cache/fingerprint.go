@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"irfusion/internal/pgen"
+	"irfusion/internal/spice"
+)
+
+// Canonical renders a netlist in canonical form: one line per element,
+// `<type> <nodeA> <nodeB> <value>`, sorted lexicographically. The
+// rendering deliberately drops everything electrically irrelevant —
+// the deck title, element names, original line order, whitespace, and
+// engineering-suffix spellings (values are normalized through
+// spice.FormatValue, and suffixes were already resolved by
+// spice.ParseValue) — and orders the node pair of symmetric two-pin
+// elements (R and C) lexicographically, so any two decks that describe
+// the same network canonicalize identically. This is the single shared
+// canonicalizer of the repository: fingerprinting, dataset caching,
+// and the serving layer all key off it.
+func Canonical(nl *spice.Netlist) string {
+	if nl == nil {
+		return ""
+	}
+	lines := make([]string, 0, len(nl.Elements))
+	for _, e := range nl.Elements {
+		a, b := e.NodeA, e.NodeB
+		// R and C cards are undirected; I and V cards are polarized,
+		// so their node order is meaning-bearing and preserved.
+		if (e.Type == spice.Resistor || e.Type == spice.Capacitor) && b < a {
+			a, b = b, a
+		}
+		lines = append(lines, e.Type.String()+" "+a+" "+b+" "+spice.FormatValue(e.Value))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Fingerprint returns the content address of a netlist: the SHA-256 of
+// its canonical form, in lower-case hex. Decks differing only in
+// element order, naming, whitespace, or value spelling share a
+// fingerprint; any electrical change produces a new one.
+func Fingerprint(nl *spice.Netlist) string {
+	sum := sha256.Sum256([]byte(Canonical(nl)))
+	return hex.EncodeToString(sum[:])
+}
+
+// DesignFingerprint extends Fingerprint with the generator metadata
+// that shapes downstream artifacts but lives outside the deck: the
+// grid dimensions (which set feature-map geometry) and the nominal
+// supply voltage (which sets the drop reference). Two designs with the
+// same electrical network but different rasterization targets must not
+// share cached feature maps.
+func DesignFingerprint(d *pgen.Design) string {
+	if d == nil {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "design w=%d h=%d vdd=%s\n", d.W, d.H, spice.FormatValue(d.VDD))
+	io.WriteString(h, Canonical(d.Netlist))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ShortKey abbreviates a fingerprint for logs and manifest events,
+// where the full 64-hex digest is noise.
+func ShortKey(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}

@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"irfusion/internal/pgen"
+	"irfusion/internal/spice"
+)
+
+// TestFingerprintStability is the canonicalizer's regression contract:
+// decks that describe the same electrical network — however they are
+// ordered, named, spaced, or value-spelled — must hash identically,
+// and any electrical edit must change the hash.
+func TestFingerprintStability(t *testing.T) {
+	base := `* base deck
+R1 n1_m1_0_0 n1_m1_0_1 0.5
+R2 n1_m1_0_1 n1_m1_0_2 2k
+I1 n1_m1_0_2 0 1m
+V1 n1_vsrc 0 1.1
+Rv n1_vsrc n1_m1_0_0 0.01
+.end`
+	same := []struct {
+		name string
+		deck string
+	}{
+		{"shuffled element order", `* reordered
+I1 n1_m1_0_2 0 1m
+Rv n1_vsrc n1_m1_0_0 0.01
+V1 n1_vsrc 0 1.1
+R2 n1_m1_0_1 n1_m1_0_2 2k
+R1 n1_m1_0_0 n1_m1_0_1 0.5
+.end`},
+		{"renamed elements and extra whitespace", `* renamed
+Rzz9   n1_m1_0_0	n1_m1_0_1   0.5
+Rother n1_m1_0_1 n1_m1_0_2 2K
+Iload  n1_m1_0_2 0 1m
+Vdd    n1_vsrc 0 1.1
+Rtap   n1_vsrc n1_m1_0_0 0.01
+.end`},
+		{"swapped resistor node order", `* swapped
+R1 n1_m1_0_1 n1_m1_0_0 0.5
+R2 n1_m1_0_2 n1_m1_0_1 2000
+I1 n1_m1_0_2 0 1m
+V1 n1_vsrc 0 1.1
+Rv n1_m1_0_0 n1_vsrc 0.01
+.end`},
+		{"value suffix spelling", `* suffixes
+R1 n1_m1_0_0 n1_m1_0_1 500m
+R2 n1_m1_0_1 n1_m1_0_2 2000
+I1 n1_m1_0_2 0 0.001
+V1 n1_vsrc 0 1.1
+Rv n1_vsrc n1_m1_0_0 10m
+.end`},
+	}
+	want := parseFP(t, base)
+	for _, tc := range same {
+		if got := parseFP(t, tc.deck); got != want {
+			t.Errorf("%s: fingerprint %s != base %s", tc.name, ShortKey(got), ShortKey(want))
+		}
+	}
+
+	different := []struct {
+		name string
+		deck string
+	}{
+		{"changed resistor value", `* edit
+R1 n1_m1_0_0 n1_m1_0_1 0.6
+R2 n1_m1_0_1 n1_m1_0_2 2k
+I1 n1_m1_0_2 0 1m
+V1 n1_vsrc 0 1.1
+Rv n1_vsrc n1_m1_0_0 0.01
+.end`},
+		{"removed element", `* edit
+R1 n1_m1_0_0 n1_m1_0_1 0.5
+R2 n1_m1_0_1 n1_m1_0_2 2k
+I1 n1_m1_0_2 0 1m
+V1 n1_vsrc 0 1.1
+.end`},
+		{"swapped polarized source nodes", `* edit
+R1 n1_m1_0_0 n1_m1_0_1 0.5
+R2 n1_m1_0_1 n1_m1_0_2 2k
+I1 0 n1_m1_0_2 1m
+V1 n1_vsrc 0 1.1
+Rv n1_vsrc n1_m1_0_0 0.01
+.end`},
+	}
+	for _, tc := range different {
+		if got := parseFP(t, tc.deck); got == want {
+			t.Errorf("%s: fingerprint unchanged; an electrical edit must re-key", tc.name)
+		}
+	}
+}
+
+func parseFP(t *testing.T, deck string) string {
+	t.Helper()
+	nl, err := spice.ParseString(deck)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Fingerprint(nl)
+}
+
+// TestFingerprintGeneratedShuffle shuffles a realistic generated deck
+// many times: every permutation must canonicalize to the same string.
+func TestFingerprintGeneratedShuffle(t *testing.T) {
+	d, err := pgen.Generate(pgen.DefaultConfig("fp", pgen.Real, 16, 16, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Fingerprint(d.Netlist)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := &spice.Netlist{
+			Title:    "shuffled",
+			Elements: append([]spice.Element(nil), d.Netlist.Elements...),
+		}
+		rng.Shuffle(len(shuffled.Elements), func(i, j int) {
+			shuffled.Elements[i], shuffled.Elements[j] = shuffled.Elements[j], shuffled.Elements[i]
+		})
+		if got := Fingerprint(shuffled); got != want {
+			t.Fatalf("trial %d: shuffle changed fingerprint", trial)
+		}
+	}
+}
+
+func TestDesignFingerprintMetadata(t *testing.T) {
+	d, err := pgen.Generate(pgen.DefaultConfig("fp", pgen.Real, 16, 16, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DesignFingerprint(d)
+	if base == "" || DesignFingerprint(nil) != "" {
+		t.Fatal("DesignFingerprint zero-value handling broken")
+	}
+	wider := *d
+	wider.W = d.W * 2
+	if DesignFingerprint(&wider) == base {
+		t.Fatal("raster geometry change did not re-key the design")
+	}
+	renamed := *d
+	renamed.Name = "other-name"
+	if DesignFingerprint(&renamed) != base {
+		t.Fatal("design name leaked into the fingerprint")
+	}
+	if DesignFingerprint(pgen.Perturb(d, 1, 3)) == base {
+		t.Fatal("perturbed netlist kept the baseline fingerprint")
+	}
+}

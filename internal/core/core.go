@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"irfusion/internal/amg"
+	"irfusion/internal/cache"
 	"irfusion/internal/circuit"
 	"irfusion/internal/dataset"
 	"irfusion/internal/faults"
@@ -611,6 +612,7 @@ func hotspotWeights(y *nn.Tensor, hw float64) *nn.Tensor {
 // serving process.
 const (
 	RungAMG        = "numerical.amg"
+	RungAMGWarm    = "numerical.amg.warm"
 	RungSSOR       = "numerical.ssor"
 	RungRandomWalk = "numerical.randomwalk"
 	RungRough      = "rough"
@@ -651,6 +653,17 @@ func (n *NumericalAnalyzer) Analyze(d *pgen.Design) (*grid.Map, time.Duration, f
 // per-context observability via obs.ActiveOr. The solve runs on the
 // degradation ladder; when every rung fails the error wraps
 // ErrLadderExhausted.
+//
+// Converged analyses (Iters <= 0) consult the artifact cache resolved
+// by cache.ActiveOr: an exact fingerprint hit reuses the cached golden
+// solution after a one-SpMV residual guard and skips the ladder
+// entirely; a neighbor within cache.DefaultWarmDelta adds a warm-start
+// rung (RungAMGWarm) ahead of the cold ladder, preconditioning with
+// the donor's cloned hierarchy — the rung behaves like any other, so a
+// failed warm start degrades to the cold AMG rung via the usual
+// ladder mechanics. Budgeted analyses (Iters > 0) always run cold:
+// their per-iteration progress is the quantity under study in the
+// Fig-7 trade-off, so caching would corrupt the comparison.
 func (n *NumericalAnalyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*grid.Map, time.Duration, float64, error) {
 	rec := obs.ActiveOr(ctx)
 	start := time.Now()
@@ -667,8 +680,66 @@ func (n *NumericalAnalyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*gr
 	x := make([]float64, sys.N())
 	var res solver.Result
 	st = rec.StartStage("numerical.solve")
-	if _, _, err := RunLadder(ctx, "core.numerical", n.ladderRungs(sys, x, &res), n.Resilience); err != nil {
-		return nil, 0, 0, err
+	cc := cache.ActiveOr(ctx)
+	var fp string
+	solved := false
+	if cc != nil && n.Iters <= 0 {
+		fp = cache.DesignFingerprint(d)
+		if art := cache.LookupSystem(ctx, cc, fp); art != nil && art.N == sys.N() {
+			if r := solver.RelResidual(sys.G, art.Golden, sys.I); r <= cache.GuardTol {
+				copy(x, art.Golden)
+				res = solver.Result{Iterations: 0, Residual: r, Converged: true}
+				solved = true
+				rec.RecordCacheEvent(obs.CacheEvent{
+					Stage: "numerical.solve", Outcome: obs.CacheHit, Key: cache.ShortKey(fp),
+				})
+			} else {
+				cc.Drop(cache.SystemKey(fp))
+				rec.RecordCacheEvent(obs.CacheEvent{
+					Stage: "numerical.solve", Outcome: obs.CacheStale, Key: cache.ShortKey(fp),
+				})
+			}
+		}
+	}
+	if !solved {
+		var hier *amg.Hierarchy
+		rungs := n.ladderRungs(sys, x, &res, &hier)
+		if cc != nil && n.Iters <= 0 {
+			nb, delta, werr := cache.FindWarmStart(ctx, cc, sys.G, 0)
+			if werr != nil {
+				return nil, 0, 0, werr
+			}
+			if nb != nil {
+				warm := LadderRung{Name: RungAMGWarm, Run: func(ctx context.Context) error {
+					copy(x, nb.Golden)
+					r, err := solver.PCGCtx(ctx, sys.G, x, sys.I, nb.Hier.Clone(), n.solveOpts(RungAMGWarm))
+					if err != nil {
+						return err
+					}
+					if !r.Converged {
+						return fmt.Errorf("core: warm-started solve stalled at %g", r.Residual)
+					}
+					res = r
+					rec.RecordCacheEvent(obs.CacheEvent{
+						Stage: "numerical.solve", Outcome: obs.CacheWarm,
+						Key: cache.ShortKey(nb.Fingerprint), Delta: delta,
+					})
+					return nil
+				}}
+				rungs = append([]LadderRung{warm}, rungs...)
+			}
+		}
+		if _, _, err := RunLadder(ctx, "core.numerical", rungs, n.Resilience); err != nil {
+			return nil, 0, 0, err
+		}
+		if cc != nil && fp != "" && res.Converged {
+			art := &cache.SystemArtifact{
+				Fingerprint: fp, N: sys.N(), G: sys.G, I: sys.I,
+				Golden: append([]float64(nil), x...),
+				Hier:   hier, // nil unless the cold AMG rung built one for sys.G
+			}
+			cache.StoreSystem(ctx, cc, "numerical.solve", art)
+		}
 	}
 	st.End()
 	st = rec.StartStage("numerical.rasterize")
@@ -694,8 +765,10 @@ func (n *NumericalAnalyzer) solveOpts(label string) solver.Options {
 // configuration: AMG-PCG → SSOR-PCG → random walk, starting at the
 // SSOR rung when Precond selects it. Each rung resets x before
 // solving (a failed attempt must not poison the next) and writes the
-// winning solver.Result into res.
-func (n *NumericalAnalyzer) ladderRungs(sys *circuit.System, x []float64, res *solver.Result) []LadderRung {
+// winning solver.Result into res. A hierarchy built by the AMG rung is
+// also published through hierOut (when non-nil), so the caller can
+// hand it to the artifact cache — it was built for exactly sys.G.
+func (n *NumericalAnalyzer) ladderRungs(sys *circuit.System, x []float64, res *solver.Result, hierOut **amg.Hierarchy) []LadderRung {
 	pcgRung := func(name string, pre func(ctx context.Context) (solver.Preconditioner, error)) LadderRung {
 		return LadderRung{Name: name, Run: func(ctx context.Context) error {
 			p, err := pre(ctx)
@@ -714,7 +787,14 @@ func (n *NumericalAnalyzer) ladderRungs(sys *circuit.System, x []float64, res *s
 		}}
 	}
 	amgRung := pcgRung(RungAMG, func(ctx context.Context) (solver.Preconditioner, error) {
-		return amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
+		h, err := amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		if hierOut != nil {
+			*hierOut = h
+		}
+		return h, nil
 	})
 	ssorRung := pcgRung(RungSSOR, func(context.Context) (solver.Preconditioner, error) {
 		return solver.NewSSOR(sys.G, 2), nil

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"irfusion/internal/amg"
+	"irfusion/internal/cache"
 	"irfusion/internal/circuit"
 	"irfusion/internal/faults"
 	"irfusion/internal/features"
@@ -22,6 +23,7 @@ import (
 	"irfusion/internal/obs"
 	"irfusion/internal/pgen"
 	"irfusion/internal/solver"
+	"irfusion/internal/sparse"
 )
 
 // Options controls sample construction.
@@ -57,6 +59,11 @@ type Options struct {
 	// as all-zero numerical channels (the model's input shape never
 	// changes).
 	RoughSolver func(ctx context.Context, sys *circuit.System, x []float64) error
+	// WarmDelta is the matrix-delta fraction below which a cached
+	// neighbor solution may warm-start the golden solve when the
+	// artifact cache is active: 0 uses cache.DefaultWarmDelta, a
+	// negative value disables warm starts (exact hits still apply).
+	WarmDelta float64
 }
 
 // DefaultOptions returns the pipeline defaults at the given raster
@@ -103,6 +110,21 @@ func Build(d *pgen.Design, opts Options) (*Sample, error) {
 // timer and convergence trace reports to the recorder resolved from
 // ctx (obs.ActiveOr), keeping concurrent builds isolated when each
 // carries its own recorder.
+//
+// When an artifact cache is active (cache.ActiveOr), BuildCtx serves
+// repeated designs from it: an exact fingerprint hit on a previously
+// built sample short-circuits the whole build (RoughSolver must be
+// nil, since hook output is not content-addressed), an exact hit on
+// the system artifact reuses the converged golden solution after a
+// one-SpMV residual guard, and a near-miss within Options.WarmDelta
+// warm-starts the golden solve from the neighbor's solution with the
+// neighbor's cloned AMG hierarchy as preconditioner — skipping AMG
+// setup, the dominant cost. Every cache interaction lands in the run
+// manifest's cache section; any guard failure, fault injection, or
+// warm-start stall falls back to the cold path. Rough solves always
+// run cold from zero: the paper's fusion semantics define the model's
+// numerical input as k budgeted iterations from a zero guess, and a
+// warm-started rough solve would shift that input distribution.
 func BuildCtx(ctx context.Context, d *pgen.Design, opts Options) (*Sample, error) {
 	rec := obs.ActiveOr(ctx)
 	// Fault-injection hook (faults.SiteDatasetBuild): latency/stall
@@ -111,6 +133,27 @@ func BuildCtx(ctx context.Context, d *pgen.Design, opts Options) (*Sample, error
 	if f := faults.ActiveOr(ctx).Fire(faults.SiteDatasetBuild, ""); f != nil {
 		if err := f.Sleep(ctx); err != nil {
 			return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
+		}
+	}
+	cc := cache.ActiveOr(ctx)
+	var fp string
+	if cc != nil {
+		fp = cache.DesignFingerprint(d)
+		if opts.RoughSolver == nil {
+			lookupStart := time.Now()
+			if v, ok := cc.Get(sampleKey(fp, opts)); ok {
+				if prev, ok := v.(*Sample); ok {
+					rec.RecordCacheEvent(obs.CacheEvent{
+						Stage: "dataset.sample", Outcome: obs.CacheHit, Key: cache.ShortKey(fp),
+					})
+					out := cloneSample(prev)
+					out.NumericalTime = time.Since(lookupStart)
+					return out, nil
+				}
+			}
+			rec.RecordCacheEvent(obs.CacheEvent{
+				Stage: "dataset.sample", Outcome: obs.CacheMiss, Key: cache.ShortKey(fp),
+			})
 		}
 	}
 	st := rec.StartStage("dataset.assemble")
@@ -123,23 +166,92 @@ func BuildCtx(ctx context.Context, d *pgen.Design, opts Options) (*Sample, error
 		return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
 	}
 	st.End()
-	h, err := amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
-	}
 
-	// Golden solve.
+	// Golden solve, consulting the artifact cache: exact hits reuse the
+	// converged solution outright (after the residual guard), neighbor
+	// hits warm-start PCG with the donor's cloned hierarchy, everything
+	// else builds AMG and solves cold from zero.
 	st = rec.StartStage("dataset.golden_solve")
 	gx := make([]float64, sys.N())
-	gRes, err := solver.PCGCtx(ctx, sys.G, gx, sys.I, h, solver.Options{
-		Tol: opts.GoldenTol, MaxIter: opts.GoldenMaxIter, Flexible: true, Record: true,
-		Label: "golden",
-	})
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %s: golden solve: %w", d.Name, err)
+	var h *amg.Hierarchy
+	hFresh := false // h was built from sys.G, so it may be cached
+	goldenDone := false
+	warmGuess := false
+	if cc != nil {
+		if art := cache.LookupSystem(ctx, cc, fp); art != nil && art.N == sys.N() {
+			if r := solver.RelResidual(sys.G, art.Golden, sys.I); r <= cache.GuardTol {
+				copy(gx, art.Golden)
+				h = art.Hier.Clone()
+				goldenDone = true
+				rec.RecordCacheEvent(obs.CacheEvent{
+					Stage: "dataset.golden_solve", Outcome: obs.CacheHit, Key: cache.ShortKey(fp),
+				})
+			} else {
+				cc.Drop(cache.SystemKey(fp))
+				rec.RecordCacheEvent(obs.CacheEvent{
+					Stage: "dataset.golden_solve", Outcome: obs.CacheStale, Key: cache.ShortKey(fp),
+				})
+			}
+		}
+		if !goldenDone && opts.WarmDelta >= 0 {
+			nb, delta, werr := cache.FindWarmStart(ctx, cc, sys.G, opts.WarmDelta)
+			if werr != nil {
+				return nil, fmt.Errorf("dataset: %s: warm-start search: %w", d.Name, werr)
+			}
+			if nb != nil {
+				copy(gx, nb.Golden)
+				h = nb.Hier.Clone()
+				warmGuess = true
+				rec.RecordCacheEvent(obs.CacheEvent{
+					Stage: "dataset.golden_solve", Outcome: obs.CacheWarm,
+					Key: cache.ShortKey(nb.Fingerprint), Delta: delta,
+				})
+			}
+		}
 	}
-	if !gRes.Converged {
-		return nil, fmt.Errorf("dataset: %s: golden solve stalled at %g", d.Name, gRes.Residual)
+	if !goldenDone {
+		if h == nil {
+			h, err = amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
+			}
+			hFresh = true
+		}
+		gopts := solver.Options{
+			Tol: opts.GoldenTol, MaxIter: opts.GoldenMaxIter, Flexible: true, Record: true,
+			Label: "golden",
+		}
+		gRes, gerr := solver.PCGCtx(ctx, sys.G, gx, sys.I, h, gopts)
+		if warmGuess && ctx.Err() == nil && (gerr != nil || !gRes.Converged) {
+			// The donated guess or foreign preconditioner did not carry
+			// the solve home; degrade to the cold path.
+			rec.RecordCacheEvent(obs.CacheEvent{
+				Stage: "dataset.golden_solve", Outcome: obs.CacheStale, Key: cache.ShortKey(fp),
+			})
+			sparse.Zero(gx)
+			h, err = amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
+			}
+			hFresh = true
+			gRes, gerr = solver.PCGCtx(ctx, sys.G, gx, sys.I, h, gopts)
+		}
+		if gerr != nil {
+			return nil, fmt.Errorf("dataset: %s: golden solve: %w", d.Name, gerr)
+		}
+		if !gRes.Converged {
+			return nil, fmt.Errorf("dataset: %s: golden solve stalled at %g", d.Name, gRes.Residual)
+		}
+		if cc != nil && fp != "" {
+			art := &cache.SystemArtifact{
+				Fingerprint: fp, N: sys.N(), G: sys.G, I: sys.I,
+				Golden: append([]float64(nil), gx...),
+			}
+			if hFresh {
+				art.Hier = h
+			}
+			cache.StoreSystem(ctx, cc, "dataset.golden_solve", art)
+		}
 	}
 	golden := features.GoldenMap(nw, sys.FullDrops(gx), opts.H, opts.W)
 	st.End()
@@ -163,8 +275,18 @@ func BuildCtx(ctx context.Context, d *pgen.Design, opts Options) (*Sample, error
 				return nil, fmt.Errorf("dataset: %s: rough solve: %w", d.Name, err)
 			}
 		} else {
-			var pre solver.Preconditioner = h
-			if opts.RoughPrecond != "amg" {
+			var pre solver.Preconditioner
+			if opts.RoughPrecond == "amg" {
+				if h == nil {
+					// Exact-hit fast path skipped setup and the cached
+					// artifact carried no hierarchy; build one now.
+					h, err = amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
+					if err != nil {
+						return nil, fmt.Errorf("dataset: %s: %w", d.Name, err)
+					}
+				}
+				pre = h
+			} else {
 				pre = solver.NewSSOR(sys.G, 2)
 			}
 			ropts := solver.RoughOptions(opts.RoughIters)
@@ -186,7 +308,59 @@ func BuildCtx(ctx context.Context, d *pgen.Design, opts Options) (*Sample, error
 	}
 	s.NumericalTime = time.Since(start)
 	s.Features = fs
+	if cc != nil && fp != "" && opts.RoughSolver == nil {
+		cc.Put(sampleKey(fp, opts), cloneSample(s), sampleSizeBytes(s), "sample")
+		rec.RecordCacheEvent(obs.CacheEvent{
+			Stage: "dataset.sample", Outcome: obs.CacheStore, Key: cache.ShortKey(fp),
+		})
+	}
 	return s, nil
+}
+
+// sampleKey is the cache key of a finished sample: the design
+// fingerprint qualified by every Options field that shapes the output,
+// so ablation variants and resolution changes never collide.
+func sampleKey(fp string, o Options) string {
+	return fmt.Sprintf("sample|%s|h=%d,w=%d,ri=%d,rp=%s,num=%t,hier=%t,gt=%g,gmi=%d",
+		fp, o.H, o.W, o.RoughIters, o.RoughPrecond,
+		o.IncludeNumerical, o.Hierarchical, o.GoldenTol, o.GoldenMaxIter)
+}
+
+// cloneSample deep-copies a sample's maps so cached state and caller
+// state can never alias (callers are free to mutate what they get).
+func cloneSample(s *Sample) *Sample {
+	out := *s
+	if s.Features != nil {
+		fs := &features.Set{}
+		for i, m := range s.Features.Maps {
+			fs.Add(s.Features.Names[i], m.Clone())
+		}
+		out.Features = fs
+	}
+	if s.Golden != nil {
+		out.Golden = s.Golden.Clone()
+	}
+	if s.RoughBottom != nil {
+		out.RoughBottom = s.RoughBottom.Clone()
+	}
+	return &out
+}
+
+// sampleSizeBytes estimates a sample's footprint for cache accounting.
+func sampleSizeBytes(s *Sample) int64 {
+	var sz int64 = 256
+	if s.Golden != nil {
+		sz += int64(len(s.Golden.Data)) * 8
+	}
+	if s.RoughBottom != nil {
+		sz += int64(len(s.RoughBottom.Data)) * 8
+	}
+	if s.Features != nil {
+		for _, m := range s.Features.Maps {
+			sz += int64(len(m.Data)) * 8
+		}
+	}
+	return sz
 }
 
 // collapseLayers merges per-layer maps (names with a _m<layer>

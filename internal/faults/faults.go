@@ -26,6 +26,8 @@
 //	dataset.build latency | stall
 //	features.map  latency
 //	serve.worker  panic
+//	cache.lookup  stale | evict | fail
+//	cache.delta   latency | fail
 //
 // Modifier keys (all optional):
 //
@@ -65,6 +67,8 @@ const (
 	SiteDatasetBuild = "dataset.build" // start of dataset.BuildCtx
 	SiteFeatures     = "features.map"  // per-map hook in internal/features
 	SiteServeWorker  = "serve.worker"  // job execution in internal/serve workers
+	SiteCacheLookup  = "cache.lookup"  // exact-hit artifact lookup in internal/cache
+	SiteCacheDelta   = "cache.delta"   // neighbor delta check before a warm start
 )
 
 // Actions a fired fault can request. The call site interprets them;
@@ -79,6 +83,8 @@ const (
 	ActLatency    = "latency"    // sleep Delay before proceeding
 	ActStall      = "stall"      // block until the context is cancelled
 	ActPanic      = "panic"      // panic inside the instrumented goroutine
+	ActStale      = "stale"      // serve a corrupted copy of a cache entry (guards must catch it)
+	ActEvict      = "evict"      // drop the entry mid-lookup, as if eviction won the race
 )
 
 // Fault describes one fired injection. Exactly what the call site

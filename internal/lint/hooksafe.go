@@ -11,6 +11,7 @@ import (
 var hookPackages = map[string][]string{
 	"irfusion/internal/obs":    {"Recorder"},
 	"irfusion/internal/faults": {"Injector"},
+	"irfusion/internal/cache":  {"Cache"},
 }
 
 // checkHooksafe enforces the hook-resolution discipline for the

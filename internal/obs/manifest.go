@@ -39,6 +39,23 @@ type Manifest struct {
 	// key of irfusion/run-manifest/v1 (absent = no laddered
 	// operation ran).
 	Degradations []Degradation `json:"degradation,omitempty"`
+	// Cache is the artifact-cache trail: per-stage hit/miss/warm-start
+	// events with aggregate tallies. Optional key of
+	// irfusion/run-manifest/v1 (absent = no cache interaction), so its
+	// addition needs no schema-version bump.
+	Cache *CacheSection `json:"cache,omitempty"`
+}
+
+// CacheSection aggregates the run's artifact-cache interactions for
+// the manifest. Tallies are derived from Events and must agree with
+// them (Validate enforces it).
+type CacheSection struct {
+	Hits       int          `json:"hits"`
+	Misses     int          `json:"misses"`
+	WarmStarts int          `json:"warm_starts"`
+	Stale      int          `json:"stale"`
+	Stores     int          `json:"stores"`
+	Events     []CacheEvent `json:"events"`
 }
 
 // Host captures the execution environment of the run.
@@ -96,6 +113,24 @@ func (r *Recorder) Manifest(kind string, config any) *Manifest {
 	m.Solves = append([]SolveRecord(nil), r.solves...)
 	m.Epochs = append([]EpochRecord(nil), r.epochs...)
 	m.Degradations = append([]Degradation(nil), r.degrads...)
+	if len(r.cacheEvts) > 0 {
+		cs := &CacheSection{Events: append([]CacheEvent(nil), r.cacheEvts...)}
+		for _, e := range cs.Events {
+			switch e.Outcome {
+			case CacheHit:
+				cs.Hits++
+			case CacheMiss:
+				cs.Misses++
+			case CacheWarm:
+				cs.WarmStarts++
+			case CacheStale:
+				cs.Stale++
+			case CacheStore:
+				cs.Stores++
+			}
+		}
+		m.Cache = cs
+	}
 
 	// Derived pool-utilization gauge from the well-known parallel.*
 	// counters (see internal/parallel): the fraction of kernel
@@ -165,6 +200,40 @@ func (m *Manifest) Validate() error {
 			}
 		}
 	}
+	if c := m.Cache; c != nil {
+		if len(c.Events) == 0 {
+			return fmt.Errorf("obs: cache section present but has no events")
+		}
+		var hits, misses, warms, stale, stores int
+		for _, e := range c.Events {
+			if e.Stage == "" {
+				return fmt.Errorf("obs: cache event missing stage: %+v", e)
+			}
+			if e.Delta < 0 || e.Delta > 1 {
+				return fmt.Errorf("obs: cache event for %s has delta %g outside [0,1]", e.Stage, e.Delta)
+			}
+			switch e.Outcome {
+			case CacheHit:
+				hits++
+			case CacheMiss:
+				misses++
+			case CacheWarm:
+				warms++
+			case CacheStale:
+				stale++
+			case CacheStore:
+				stores++
+			default:
+				return fmt.Errorf("obs: cache event for %s has unknown outcome %q", e.Stage, e.Outcome)
+			}
+		}
+		if hits != c.Hits || misses != c.Misses || warms != c.WarmStarts ||
+			stale != c.Stale || stores != c.Stores {
+			return fmt.Errorf("obs: cache tallies %d/%d/%d/%d/%d disagree with events %d/%d/%d/%d/%d",
+				c.Hits, c.Misses, c.WarmStarts, c.Stale, c.Stores,
+				hits, misses, warms, stale, stores)
+		}
+	}
 	return nil
 }
 
@@ -210,6 +279,10 @@ func (m *Manifest) Summary() string {
 	if n := len(m.Epochs); n > 0 {
 		first, last := m.Epochs[0], m.Epochs[n-1]
 		fmt.Fprintf(&b, "training: %d epochs, loss %.4g → %.4g\n", n, first.Loss, last.Loss)
+	}
+	if c := m.Cache; c != nil {
+		fmt.Fprintf(&b, "cache: %d hit(s), %d miss(es), %d warm start(s), %d stale, %d store(s)\n",
+			c.Hits, c.Misses, c.WarmStarts, c.Stale, c.Stores)
 	}
 	par := m.Counters["parallel.for.parallel"] + m.Counters["parallel.do.parallel"]
 	ser := m.Counters["parallel.for.serial"] + m.Counters["parallel.do.serial"]

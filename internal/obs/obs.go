@@ -194,6 +194,7 @@ type Recorder struct {
 	solves     []SolveRecord
 	epochs     []EpochRecord
 	degrads    []Degradation
+	cacheEvts  []CacheEvent
 }
 
 // NewRecorder returns a recorder whose manifest will report global
@@ -315,6 +316,39 @@ func (r *Recorder) RecordDegradation(d Degradation) {
 	d.Attempts = append([]DegradationAttempt(nil), d.Attempts...)
 	r.mu.Lock()
 	r.degrads = append(r.degrads, d)
+	r.mu.Unlock()
+}
+
+// Cache-event outcomes, the vocabulary of CacheEvent.Outcome. The
+// artifact-cache layer records one event per cache interaction of a
+// pipeline stage; manifest validation rejects anything else.
+const (
+	CacheHit   = "hit"   // exact fingerprint hit, guard passed
+	CacheMiss  = "miss"  // no usable entry; cold path taken
+	CacheWarm  = "warm"  // neighbor warm start (delta-solve) taken
+	CacheStale = "stale" // cached state rejected by a guard; cold fallback
+	CacheStore = "store" // freshly computed artifact stored
+)
+
+// CacheEvent records one artifact-cache interaction of a pipeline
+// stage: which stage consulted the cache, what came of it, the
+// (abbreviated) content address involved, and — for warm starts — the
+// matrix-delta fraction against the donor entry.
+type CacheEvent struct {
+	Stage   string  `json:"stage"`
+	Outcome string  `json:"outcome"`
+	Key     string  `json:"key,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+}
+
+// RecordCacheEvent appends a cache-interaction record.
+func (r *Recorder) RecordCacheEvent(e CacheEvent) {
+	if r == nil {
+		return
+	}
+	e.Delta = sanitize(e.Delta)
+	r.mu.Lock()
+	r.cacheEvts = append(r.cacheEvts, e)
 	r.mu.Unlock()
 }
 

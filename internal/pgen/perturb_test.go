@@ -1,0 +1,99 @@
+package pgen
+
+import (
+	"testing"
+
+	"irfusion/internal/spice"
+)
+
+// TestPerturbDeterministic pins the ECO generator's contract: the same
+// (design, frac, seed) triple always yields the same edit, and a
+// different seed yields a different one.
+func TestPerturbDeterministic(t *testing.T) {
+	d, err := Generate(DefaultConfig("eco", Real, 24, 24, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Perturb(d, 0.05, 9)
+	b := Perturb(d, 0.05, 9)
+	if a.Name != b.Name || len(a.Netlist.Elements) != len(b.Netlist.Elements) {
+		t.Fatalf("repeat perturb diverged: %s vs %s", a.Name, b.Name)
+	}
+	for i := range a.Netlist.Elements {
+		if a.Netlist.Elements[i] != b.Netlist.Elements[i] { //irfusion:exact same seeded RNG stream stamps the same bits
+			t.Fatalf("repeat perturb diverged at element %d", i)
+		}
+	}
+	c := Perturb(d, 0.5, 10)
+	same := true
+	for i := range a.Netlist.Elements {
+		if c.Netlist.Elements[i] != a.Netlist.Elements[i] { //irfusion:exact comparing for any difference at all
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seed and frac produced an identical edit")
+	}
+}
+
+// TestPerturbTouchesOnlyResistorValues proves the ECO model: topology,
+// element order, names, nodes, loads, and pads are untouched — only
+// resistor values move, and each by at most ±5%.
+func TestPerturbTouchesOnlyResistorValues(t *testing.T) {
+	d, err := Generate(DefaultConfig("eco", Real, 24, 24, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Perturb(d, 1, 3) // frac=1: every resistor is edited
+	if len(p.Netlist.Elements) != len(d.Netlist.Elements) {
+		t.Fatal("perturb changed the element count")
+	}
+	edited := 0
+	for i := range d.Netlist.Elements {
+		orig, got := d.Netlist.Elements[i], p.Netlist.Elements[i]
+		if got.Type != orig.Type || got.Name != orig.Name || got.NodeA != orig.NodeA || got.NodeB != orig.NodeB {
+			t.Fatalf("element %d identity changed: %+v -> %+v", i, orig, got)
+		}
+		if orig.Type != spice.Resistor {
+			if got.Value != orig.Value { //irfusion:exact non-resistors must be byte-identical copies
+				t.Fatalf("non-resistor %s value changed", orig.Name)
+			}
+			continue
+		}
+		ratio := got.Value / orig.Value
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Fatalf("resistor %s rescaled by %g, want within ±5%%", orig.Name, ratio)
+		}
+		if got.Value != orig.Value { //irfusion:exact counting elements the RNG actually touched
+			edited++
+		}
+	}
+	if edited == 0 {
+		t.Fatal("frac=1 edited no resistors")
+	}
+	// The original design is never mutated in place.
+	if d.Name == p.Name {
+		t.Fatal("perturbed design kept the original name")
+	}
+}
+
+// TestPerturbZeroFracIsElectricalNoop pins the frac=0 edge: no element
+// changes, so the netlist is an identical (but independent) copy.
+func TestPerturbZeroFracIsElectricalNoop(t *testing.T) {
+	d, err := Generate(DefaultConfig("eco", Real, 24, 24, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Perturb(d, 0, 4)
+	for i := range d.Netlist.Elements {
+		if p.Netlist.Elements[i] != d.Netlist.Elements[i] { //irfusion:exact frac=0 must copy every element untouched
+			t.Fatalf("frac=0 changed element %d", i)
+		}
+	}
+	// The copy is deep enough that editing it cannot alias the source.
+	p.Netlist.Elements[0].Value += 1
+	if d.Netlist.Elements[0].Value == p.Netlist.Elements[0].Value { //irfusion:exact aliasing check: the write must not reach d
+		t.Fatal("perturbed netlist aliases the source elements")
+	}
+}

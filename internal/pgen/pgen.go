@@ -138,6 +138,35 @@ type Design struct {
 	CurrentBlobs [][2]int
 }
 
+// Perturb returns an ECO-edited copy of d: each resistor value is
+// rescaled by up to ±5% with probability frac (seeded, so a given
+// (design, frac, seed) triple always yields the same edit). Topology,
+// current loads, and pads are untouched, which models a strap-width
+// engineering change: the perturbed design's conductance matrix
+// differs from the original's only in the entries stamped by the
+// edited resistors, making the pair a controlled fixture for the
+// artifact cache's delta-solve path.
+func Perturb(d *Design, frac float64, seed int64) *Design {
+	rng := rand.New(rand.NewSource(seed))
+	nl := &spice.Netlist{
+		Title:    d.Netlist.Title,
+		Elements: append([]spice.Element(nil), d.Netlist.Elements...),
+	}
+	changed := 0
+	for i := range nl.Elements {
+		e := &nl.Elements[i]
+		if e.Type != spice.Resistor || rng.Float64() >= frac {
+			continue
+		}
+		e.Value *= 1 + 0.1*(rng.Float64()-0.5)
+		changed++
+	}
+	out := *d
+	out.Name = fmt.Sprintf("%s_eco_s%d_n%d", d.Name, seed, changed)
+	out.Netlist = nl
+	return &out
+}
+
 // rect is a closed axis-aligned region.
 type rect struct{ x0, y0, x1, y1 int }
 

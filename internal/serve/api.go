@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"irfusion/internal/cache"
 	"irfusion/internal/circuit"
 	"irfusion/internal/core"
 	"irfusion/internal/dataset"
@@ -261,6 +262,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"pool_workers":   pw,
 		"pool_min_work":  pm,
 		"fused_model":    s.cfg.Analyzer != nil,
+		"cache_enabled":  s.cache != nil,
+		"cache_entries":  s.cache.Len(),
 		"jobs":           s.reg.counts(),
 		"breakers":       s.breakers.States(),
 		"fault_spec":     faults.Active().Spec(),
@@ -277,6 +280,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 			"serve.workers":        float64(s.cfg.Workers),
 		},
 		"breakers": s.breakers.States(),
+		"cache":    s.CacheStats(),
 	})
 }
 
@@ -417,14 +421,24 @@ func (s *Server) runJob(j *Job) {
 	rec := obs.NewRecorder()
 	rec.Add("serve.job", 1)
 	ctx := obs.WithRecorder(j.ctx, rec)
-
-	result, err := s.executeProtected(ctx, j)
-	manifest := rec.Manifest("serve.analyze", map[string]any{
+	cfgMap := map[string]any{
 		"mode":    j.req.Mode,
 		"iters":   j.req.Iters,
 		"precond": j.req.Precond,
 		"design":  j.design.Name,
-	})
+	}
+	if s.cache != nil {
+		// Bind the per-process cache into the job context so the whole
+		// pipeline underneath (core, dataset) resolves it with
+		// cache.ActiveOr; record the content address in the manifest so
+		// cached runs are attributable to their design.
+		ctx = cache.WithCache(ctx, s.cache)
+		j.fp = cache.DesignFingerprint(j.design)
+		cfgMap["fingerprint"] = cache.ShortKey(j.fp)
+	}
+
+	result, err := s.executeProtected(ctx, j)
+	manifest := rec.Manifest("serve.analyze", cfgMap)
 	if !j.req.OmitManifest {
 		if result == nil {
 			result = &AnalyzeResult{Mode: j.req.Mode, Design: j.design.Name}
@@ -496,10 +510,62 @@ func (s *Server) executeProtected(ctx context.Context, j *Job) (result *AnalyzeR
 	return s.execute(ctx, j)
 }
 
-// execute runs the analysis of one job under ctx. On cancellation the
-// returned error wraps solver.ErrCancelled and the result is nil (the
-// caller still attaches the manifest with the partial history).
+// execute runs the analysis of one job under ctx, consulting the
+// response layer of the artifact cache first: an identical request
+// (same design fingerprint, mode, budget, preconditioner, resolution,
+// and map flag) is answered from the cached result of the original
+// computation — every analysis mode here is deterministic in those
+// inputs — with a fresh manifest recording the hit. On cancellation
+// the returned error wraps solver.ErrCancelled and the result is nil
+// (the caller still attaches the manifest with the partial history).
 func (s *Server) execute(ctx context.Context, j *Job) (*AnalyzeResult, error) {
+	key := responseKey(j)
+	rec := obs.ActiveOr(ctx)
+	if key != "" {
+		lookupStart := time.Now()
+		st := rec.StartStage("serve.cache.lookup")
+		v, ok := s.cache.Get(key)
+		st.End()
+		if ok {
+			if prev, ok := v.(*AnalyzeResult); ok {
+				rec.RecordCacheEvent(obs.CacheEvent{
+					Stage: "serve.analyze", Outcome: obs.CacheHit, Key: cache.ShortKey(j.fp),
+				})
+				out := *prev // Map is never mutated after finalize, so sharing it is safe
+				out.RuntimeSeconds = time.Since(lookupStart).Seconds()
+				return &out, nil
+			}
+		}
+		rec.RecordCacheEvent(obs.CacheEvent{
+			Stage: "serve.analyze", Outcome: obs.CacheMiss, Key: cache.ShortKey(j.fp),
+		})
+	}
+	out, err := s.executeUncached(ctx, j)
+	if err == nil && out != nil && key != "" {
+		stored := *out
+		stored.Manifest = nil // manifests describe one run; never replay them
+		s.cache.Put(key, &stored, int64(len(stored.Map))*8+512, "resp")
+		rec.RecordCacheEvent(obs.CacheEvent{
+			Stage: "serve.analyze", Outcome: obs.CacheStore, Key: cache.ShortKey(j.fp),
+		})
+	}
+	return out, err
+}
+
+// responseKey is the response-layer cache key of a job: the design
+// fingerprint qualified by every request field that shapes the
+// result. Empty when response caching does not apply.
+func responseKey(j *Job) string {
+	if j.fp == "" {
+		return ""
+	}
+	r := &j.req
+	return fmt.Sprintf("resp|%s|mode=%s,iters=%d,precond=%s,res=%d,map=%t",
+		j.fp, r.Mode, r.Iters, r.Precond, r.Resolution, r.IncludeMap)
+}
+
+// executeUncached dispatches the actual analysis of one job.
+func (s *Server) executeUncached(ctx context.Context, j *Job) (*AnalyzeResult, error) {
 	req, d := &j.req, j.design
 	if req.Mode == ModeFused {
 		return s.executeFused(ctx, req, d)

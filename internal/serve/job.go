@@ -40,6 +40,7 @@ type Job struct {
 	id        string
 	req       AnalyzeRequest
 	design    *pgen.Design
+	fp        string // design fingerprint; set by runJob when caching is on
 	submitted time.Time
 
 	ctx       context.Context // job lifetime (timeout + server shutdown)

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"irfusion/internal/cache"
 	"irfusion/internal/core"
 	"irfusion/internal/obs"
 	"irfusion/internal/parallel"
@@ -85,6 +86,16 @@ type Config struct {
 	// degradation ladders. Zero-value fields take the core defaults;
 	// the Breakers field is always replaced by the server's shared set.
 	Resilience core.ResilienceOptions
+	// CacheBytes bounds the per-process artifact cache shared by all
+	// workers (ECO-loop requests hit it for warm starts and response
+	// reuse). 0 takes cache.DefaultMaxBytes; set DisableCache to turn
+	// caching off entirely.
+	CacheBytes int64
+	// CacheTTL bounds cached-artifact age. 0 takes cache.DefaultTTL.
+	CacheTTL time.Duration
+	// DisableCache turns the artifact cache off: every request runs
+	// the full cold path.
+	DisableCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +132,7 @@ type Server struct {
 	reg      *registry
 	start    time.Time
 	breakers *core.BreakerSet // per-rung breakers shared by all jobs
+	cache    *cache.Cache     // per-process artifact cache; nil when disabled
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
@@ -148,6 +160,13 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	if !cfg.DisableCache {
+		// One cache per server, shared by every worker: the whole point
+		// is that worker B's ECO re-check warm-starts off worker A's
+		// solve. Cached hierarchies are cloned per use (see amg.Clone),
+		// so sharing is race-free.
+		s.cache = cache.New(cfg.CacheBytes, cfg.CacheTTL)
+	}
 	if cfg.Analyzer != nil {
 		// The fused pipeline's rough-solve ladder shares the server's
 		// breakers: a backend that keeps failing across jobs is skipped
@@ -172,6 +191,10 @@ func (s *Server) Workers() int { return s.cfg.Workers }
 
 // InFlight returns the number of jobs currently executing.
 func (s *Server) InFlight() int { return int(s.inflight.Load()) }
+
+// CacheStats snapshots the per-process artifact cache (zero stats
+// when caching is disabled).
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 
 // worker drains the job queue until Close closes it.
 func (s *Server) worker() {

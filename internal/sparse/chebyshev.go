@@ -71,6 +71,25 @@ func NewChebyshev(a *CSR, degree, powerIters int) *Chebyshev {
 	return c
 }
 
+// Clone returns a smoother sharing c's immutable setup products (the
+// operator, inverse diagonal, and spectrum bounds) with freshly
+// allocated scratch, so the clone can smooth concurrently with c or
+// any other clone. Cloning reads only immutable fields, making it safe
+// even while another goroutine is mid-Smooth on c. This is what lets a
+// cached multigrid hierarchy be reused across serving workers without
+// re-running setup.
+func (c *Chebyshev) Clone() *Chebyshev {
+	if c == nil {
+		return nil
+	}
+	n := c.a.Rows()
+	return &Chebyshev{
+		a: c.a, invDiag: c.invDiag,
+		Degree: c.Degree, LambdaMax: c.LambdaMax, Ratio: c.Ratio,
+		r: make([]float64, n), d: make([]float64, n), tmp: make([]float64, n),
+	}
+}
+
 // Smooth performs Degree Chebyshev steps improving x for A·x = b.
 // Scratch lives on the receiver, so steady-state smoothing allocates
 // nothing; see the concurrency note on Chebyshev.
