@@ -8,7 +8,7 @@ GO ?= go
 # machines and miniature test grids.
 RACE_ENV = IRFUSION_WORKERS=4 IRFUSION_PAR_THRESHOLD=1
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-smoke bench-check bench-rebaseline manifest-smoke fuzz-smoke chaos-smoke cover-check
+.PHONY: all fmt fmt-check vet lint build test race bench bench-smoke bench-check bench-rebaseline manifest-smoke fuzz-smoke chaos-smoke cluster-smoke docs-check cover-check
 
 all: fmt-check vet lint build test
 
@@ -96,6 +96,18 @@ chaos-smoke: ## full test suite + end-to-end analyze under injected mid-ladder a
 	$(GO) run ./cmd/manifestcheck -degraded $(CHAOS_MANIFEST)
 	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -cache -repeat 4 -faults '$(CACHE_CHAOS_SPEC)' -manifest $(CACHE_CHAOS_MANIFEST)
 	$(GO) run ./cmd/manifestcheck -cache $(CACHE_CHAOS_MANIFEST)
+
+# Cluster rehearsal: the in-process shard fleet behind the gateway
+# (internal/cluster fleet_test.go) — routing determinism, cache-warm
+# affinity, ring remap on shard kill, mid-job failover with handoff
+# provenance, and graceful drain — all under the race detector with
+# the pool forced wide, because every one of those paths is
+# goroutine-heavy by construction.
+cluster-smoke: ## gateway + 3-shard fleet rehearsal under -race
+	$(RACE_ENV) $(GO) test -race -count=1 ./internal/cluster/
+
+docs-check: ## fail when any doc link or file:line anchor no longer resolves
+	$(GO) run ./cmd/docscheck README.md docs
 
 FUZZTIME ?= 30s
 

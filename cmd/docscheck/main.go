@@ -1,0 +1,255 @@
+// Command docscheck keeps the prose honest: it scans markdown files
+// for relative links and file:line source anchors and fails when any
+// of them no longer resolve against the working tree. It is the
+// engine of the `make docs-check` CI gate — refactors that move code
+// out from under a documented line number, or rename a file a doc
+// links to, break the build instead of silently rotting the docs.
+//
+//	docscheck README.md docs
+//
+// Arguments are markdown files or directories (scanned recursively
+// for *.md). Two kinds of references are checked:
+//
+//   - Relative markdown links [text](path): the target, resolved
+//     against the linking file's directory, must exist. External
+//     links (http://, https://, mailto:) and pure #fragment anchors
+//     are skipped; a #fragment suffix on a file target is stripped
+//     before the existence check.
+//
+//   - Source anchors file.go:line: the file must exist and hold at
+//     least that many lines. Anchors containing a path separator are
+//     resolved from the repo root (-root, default "."); bare
+//     basenames match any repo file with that name, and pass if any
+//     candidate is long enough.
+//
+// Exit status is non-zero when any reference is broken, with one
+// diagnostic line per problem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	root := flag.String("root", ".", "repo root that file:line anchors resolve against")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: docscheck [-root DIR] <file.md|dir> ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	docs, err := collectMarkdown(flag.Args())
+	if err != nil {
+		log.Fatalf("docscheck: %v", err)
+	}
+	idx, err := indexTree(*root)
+	if err != nil {
+		log.Fatalf("docscheck: %v", err)
+	}
+	broken := 0
+	for _, doc := range docs {
+		problems, err := checkDoc(doc, idx)
+		if err != nil {
+			log.Fatalf("docscheck: %v", err)
+		}
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+			broken++
+		}
+	}
+	if broken > 0 {
+		log.Fatalf("docscheck: %d broken reference(s) across %d file(s)", broken, len(docs))
+	}
+	log.Printf("docscheck: %d file(s) clean", len(docs))
+}
+
+// collectMarkdown expands the argument list: directories are walked
+// recursively for *.md files, plain files are taken as given.
+func collectMarkdown(args []string) ([]string, error) {
+	var docs []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			docs = append(docs, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+				docs = append(docs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return docs, nil
+}
+
+// treeIndex is one walk of the repo: every file path (slash-separated,
+// relative to root) plus a basename index so bare anchors like
+// "solver.go:122" can find their file without a package prefix.
+type treeIndex struct {
+	root       string
+	byBasename map[string][]string // basename → relative paths
+	lineCounts map[string]int      // relative path → memoized line count
+}
+
+func indexTree(root string) (*treeIndex, error) {
+	idx := &treeIndex{
+		root:       root,
+		byBasename: map[string][]string{},
+		lineCounts: map[string]int{},
+	}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		idx.byBasename[d.Name()] = append(idx.byBasename[d.Name()], rel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// lines returns the line count of a root-relative file, memoized.
+func (idx *treeIndex) lines(rel string) (int, error) {
+	if n, ok := idx.lineCounts[rel]; ok {
+		return n, nil
+	}
+	data, err := os.ReadFile(filepath.Join(idx.root, filepath.FromSlash(rel)))
+	if err != nil {
+		return 0, err
+	}
+	n := strings.Count(string(data), "\n")
+	if len(data) > 0 && !strings.HasSuffix(string(data), "\n") {
+		n++
+	}
+	idx.lineCounts[rel] = n
+	return n, nil
+}
+
+var (
+	// [text](target) — target captured up to the closing paren.
+	linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	// path/file.go:123 or file.go:123 — Go source anchors only, so
+	// URLs with ports and timestamps never false-positive.
+	anchorRe = regexp.MustCompile(`([A-Za-z0-9_][A-Za-z0-9_./-]*\.go):([0-9]+)`)
+)
+
+// checkDoc scans one markdown file and returns a diagnostic line per
+// broken reference.
+func checkDoc(doc string, idx *treeIndex) ([]string, error) {
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	dir := filepath.Dir(doc)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipLink(target) {
+				continue
+			}
+			if frag := strings.IndexByte(target, '#'); frag >= 0 {
+				target = target[:frag]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, filepath.FromSlash(target))); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: dead link: %s does not resolve", doc, i+1, m[1]))
+			}
+		}
+		for _, m := range anchorRe.FindAllStringSubmatch(line, -1) {
+			file, lineStr := m[1], m[2]
+			want, err := strconv.Atoi(lineStr)
+			if err != nil || want < 1 {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: bad anchor line number: %s:%s", doc, i+1, file, lineStr))
+				continue
+			}
+			if p := idx.checkAnchor(file, want); p != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s", doc, i+1, p))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// skipLink reports whether a link target is out of scope: external
+// URLs and in-page fragment anchors.
+func skipLink(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
+
+// checkAnchor verifies a file.go:line anchor against the tree index
+// and returns a diagnostic ("" when the anchor resolves). Pathed
+// anchors must name an existing root-relative file with enough lines;
+// bare basenames pass if any same-named repo file is long enough.
+func (idx *treeIndex) checkAnchor(file string, line int) string {
+	if strings.Contains(file, "/") {
+		n, err := idx.lines(file)
+		if err != nil {
+			return fmt.Sprintf("stale anchor: %s:%d — file not found under %s", file, line, idx.root)
+		}
+		if line > n {
+			return fmt.Sprintf("stale anchor: %s:%d — file has only %d lines", file, line, n)
+		}
+		return ""
+	}
+	candidates := idx.byBasename[file]
+	if len(candidates) == 0 {
+		return fmt.Sprintf("stale anchor: %s:%d — no file with that basename in the tree", file, line)
+	}
+	best := 0
+	for _, rel := range candidates {
+		n, err := idx.lines(rel)
+		if err != nil {
+			continue
+		}
+		if n >= line {
+			return ""
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return fmt.Sprintf("stale anchor: %s:%d — longest candidate has only %d lines", file, line, best)
+}

@@ -6,6 +6,7 @@
 //	irfusion analyze  [-spice design.sp] [-iters 0] [-model-file model.bin] [-manifest run.json]
 //	irfusion transient -spice design.sp [-h 1e-12] [-steps 100] [-burst 20]
 //	irfusion serve    [-addr localhost:8080] [-workers 2] [-queue 16] [-model-file model.bin]
+//	irfusion gateway  -shards a=http://h1:8080,b=http://h2:8080 [-addr localhost:8090]
 //	irfusion train    -model irfusion [-fake 8 -real 4 -epochs 10] -out model.bin
 //	irfusion predict  -spice design.sp -model-file model.bin [-pgm pred.pgm]
 //	irfusion models
@@ -63,6 +64,8 @@ func main() {
 		err = cmdTransient(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "gateway":
+		err = cmdGateway(os.Args[2:])
 	case "models":
 		for _, n := range core.ModelNames() {
 			fmt.Println(n)
@@ -87,6 +90,7 @@ commands:
   analyze  instrumented end-to-end analysis; -manifest writes a JSON run manifest
   transient dynamic IR-drop analysis (backward Euler over C cards)
   serve    long-lived HTTP analysis service (POST /v1/analyze; see docs/SERVING.md)
+  gateway  cluster gateway routing a shard fleet by cache affinity (see docs/CLUSTER.md)
   train    train a fusion model on generated designs
   predict  fused numerical+ML IR-drop prediction
   models   list registered model architectures

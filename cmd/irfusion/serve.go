@@ -29,6 +29,7 @@ import (
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
+	name := fs.String("name", "", "shard identity for cluster deployments (prefixes job ids, stamped into manifests)")
 	workers := fs.Int("workers", 2, "job-queue worker concurrency (analyses in flight)")
 	queue := fs.Int("queue", 16, "bounded job-queue depth; beyond it submissions get 503")
 	maxBody := fs.Int64("max-body", 8<<20, "request-body admission limit in bytes")
@@ -47,6 +48,7 @@ func cmdServe(args []string) error {
 	}
 
 	cfg := serve.Config{
+		Name:           *name,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		MaxBodyBytes:   *maxBody,
@@ -71,7 +73,7 @@ func cmdServe(args []string) error {
 	}
 
 	finish := of.start("serve", map[string]any{
-		"addr": *addr, "workers": *workers, "queue": *queue,
+		"addr": *addr, "name": *name, "workers": *workers, "queue": *queue,
 		"max_body": *maxBody, "max_size": *maxSize,
 		"timeout": timeout.String(), "model_file": *modelFile,
 		"cache": !*noCache,

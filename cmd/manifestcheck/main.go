@@ -21,6 +21,10 @@
 // repeat an analysis under one recorder and must prove the artifact
 // cache actually participated (and that poisoned entries were caught,
 // not served).
+//
+// With -shard NAME the check requires the manifest's shard field to
+// equal NAME — the gate of cluster deployments, proving a job manifest
+// really came from the shard the gateway claims routed it.
 package main
 
 import (
@@ -39,8 +43,10 @@ func main() {
 		"require at least one degradation record showing a fallback, retry, or breaker skip")
 	wantCache := flag.Bool("cache", false,
 		"require a cache section with at least one store and one hit, warm start, or stale rejection")
+	wantShard := flag.String("shard", "",
+		"require the manifest's shard identity to equal this name")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-degraded] [-cache] <manifest.json>")
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-degraded] [-cache] [-shard NAME] <manifest.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,19 +55,22 @@ func main() {
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
-	if err := check(path, *degraded, *wantCache); err != nil {
+	if err := check(path, *degraded, *wantCache, *wantShard); err != nil {
 		log.Fatalf("manifestcheck: %s: %v", path, err)
 	}
 	log.Printf("%s: ok", path)
 }
 
-func check(path string, wantDegraded, wantCache bool) error {
+func check(path string, wantDegraded, wantCache bool, wantShard string) error {
 	m, err := obs.ReadManifestFile(path)
 	if err != nil {
 		return err
 	}
 	if err := m.Validate(); err != nil {
 		return err
+	}
+	if wantShard != "" && m.Shard != wantShard {
+		return fmt.Errorf("-shard: manifest records shard %q, want %q", m.Shard, wantShard)
 	}
 
 	// The pipeline must have reported at least one real solve with a

@@ -147,3 +147,48 @@ func TestDesignFingerprintMetadata(t *testing.T) {
 		t.Fatal("perturbed netlist kept the baseline fingerprint")
 	}
 }
+
+// TestRoutingFingerprintECOInvariance pins the cluster-routing
+// contract: an ECO value edit (pgen.Perturb touches only resistor
+// values) must keep the routing key — so the gateway keeps sending the
+// design to the shard holding its warm-start artifacts — while the
+// exact DesignFingerprint diverges; any topology or geometry change
+// must re-key.
+func TestRoutingFingerprintECOInvariance(t *testing.T) {
+	d, err := pgen.Generate(pgen.DefaultConfig("route", pgen.Real, 24, 24, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RoutingFingerprint(d)
+	if base == "" || RoutingFingerprint(nil) != "" {
+		t.Fatal("RoutingFingerprint zero-value handling broken")
+	}
+	for _, seed := range []int64{3, 4, 5} {
+		eco := pgen.Perturb(d, 0.05, seed)
+		if RoutingFingerprint(eco) != base {
+			t.Fatalf("seed %d: ECO perturbation changed the routing key", seed)
+		}
+		if DesignFingerprint(eco) == DesignFingerprint(d) {
+			t.Fatalf("seed %d: ECO perturbation left the exact fingerprint unchanged", seed)
+		}
+	}
+	wider := *d
+	wider.W = d.W * 2
+	if RoutingFingerprint(&wider) == base {
+		t.Fatal("geometry change did not re-key routing")
+	}
+	// Drop one element: a topology edit must move the key.
+	trimmed := *d
+	trimmed.Netlist = &spice.Netlist{
+		Title:    d.Netlist.Title,
+		Elements: append([]spice.Element(nil), d.Netlist.Elements[1:]...),
+	}
+	if RoutingFingerprint(&trimmed) == base {
+		t.Fatal("topology edit did not re-key routing")
+	}
+	renamed := *d
+	renamed.Name = "other"
+	if RoutingFingerprint(&renamed) != base {
+		t.Fatal("design name leaked into the routing key")
+	}
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"irfusion/internal/faults"
+	"irfusion/internal/pgen"
+	"irfusion/internal/serve"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{},
+		{Shards: []ShardSpec{{Name: "", URL: "http://x"}}},
+		{Shards: []ShardSpec{{Name: "a", URL: ""}}},
+		{Shards: []ShardSpec{{Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"}}},
+		{Shards: []ShardSpec{{Name: "bad-job-name", URL: "http://x"}}},
+	}
+	for i, cfg := range cases {
+		cfg.ProbeInterval = -1
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+}
+
+// TestGatewayAdmission413 pins the edge-admission contract: a request
+// past the gateway's body limit dies at the gateway with 413 — no
+// shard sees a byte of it.
+func TestGatewayAdmission413(t *testing.T) {
+	f := newFleet(t, 2, serve.Config{Workers: 1}, Config{MaxBodyBytes: 1024})
+	big := `{"spice": "` + strings.Repeat("* padding\\n", 200) + `"}`
+	resp, err := http.Post(f.gwTS.URL+"/v1/analyze", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	for _, sh := range f.shards {
+		if n := sh.analyzeHits.Load(); n != 0 {
+			t.Errorf("shard %s saw %d analyze calls for an oversized request", sh.name, n)
+		}
+	}
+}
+
+// TestGatewayBadRequests covers edge admission of malformed bodies.
+func TestGatewayBadRequests(t *testing.T) {
+	f := newFleet(t, 1, serve.Config{Workers: 1}, Config{})
+	for _, body := range []string{
+		"{not json",
+		"{}",                               // neither spice nor pgen
+		`{"spice": "x", "pgen": {"w": 8}}`, // both
+		`{"spice": "R1 broken"}`,           // unparsable deck
+	} {
+		resp, err := http.Post(f.gwTS.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if n := f.shards[0].analyzeHits.Load(); n != 0 {
+		t.Errorf("shard saw %d analyze calls for malformed requests", n)
+	}
+}
+
+// TestGatewayAllBreakersOpen pins the no-capacity behaviour: when
+// every shard's breaker is open the gateway answers 503 with a
+// Retry-After hinting at the breaker cooldown — without attempting a
+// single doomed forward.
+func TestGatewayAllBreakersOpen(t *testing.T) {
+	// Two shards that were never alive: closed ports, probe once to
+	// open both breakers (threshold 1).
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // the address is now guaranteed-refused
+	gw, err := New(Config{
+		Shards: []ShardSpec{
+			{Name: "s0", URL: dead.URL},
+			{Name: "s1", URL: dead.URL},
+		},
+		ProbeInterval:    -1,
+		ProbeTimeout:     200 * time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  7 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = gw.Close(ctx)
+	}()
+	gw.ProbeNow(context.Background())
+	for name, state := range gw.Breakers().States() {
+		if state != "open" {
+			t.Fatalf("breaker %s is %q after failed probe, want open", name, state)
+		}
+	}
+
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(&serve.AnalyzeRequest{
+		Pgen: &pgen.Config{Class: pgen.Fake, W: 8, H: 8, Seed: 1},
+	})
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want the 7s breaker cooldown", got)
+	}
+}
+
+// TestGatewayRoutingDeterminism: the same deck, submitted repeatedly,
+// must keep landing on the same shard.
+func TestGatewayRoutingDeterminism(t *testing.T) {
+	f := newFleet(t, 3, serve.Config{Workers: 1}, Config{})
+	req := &serve.AnalyzeRequest{Pgen: &pgen.Config{Class: pgen.Fake, W: 16, H: 16, Seed: 7}}
+	want := ""
+	for i := 0; i < 3; i++ {
+		resp, body := f.postAnalyze(req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		got := resp.Header.Get(serve.HeaderShard)
+		if want == "" {
+			want = got
+		}
+		if got != want {
+			t.Fatalf("submission %d landed on %q, earlier ones on %q", i, got, want)
+		}
+	}
+}
+
+// TestGatewayProbeFaultSites drives the new cluster.probe fault site:
+// an injected probe failure opens the target shard's breaker without
+// touching the network, and an injected delay past the probe budget
+// counts as a probe timeout.
+func TestGatewayProbeFaultSites(t *testing.T) {
+	f := newFleet(t, 2, serve.Config{Workers: 1},
+		Config{BreakerThreshold: 1, BreakerCooldown: time.Hour, ProbeTimeout: 5 * time.Millisecond})
+
+	ctx := faults.WithInjector(context.Background(),
+		faults.MustParse("cluster.probe:fail:label=shard0;cluster.probe:latency:delay=10ms,label=shard1"))
+	f.gw.ProbeNow(ctx)
+	states := f.gw.Breakers().States()
+	if states["shard0"] != "open" {
+		t.Errorf("shard0 breaker %q after injected probe failure, want open", states["shard0"])
+	}
+	if states["shard1"] != "open" {
+		t.Errorf("shard1 breaker %q after injected probe timeout, want open", states["shard1"])
+	}
+
+	// A clean sweep (no injector) heals both immediately: a healthy
+	// probe is authoritative and closes the breaker (Reset) without
+	// waiting out the hour-long cooldown.
+	f.gw.ProbeNow(context.Background())
+	states = f.gw.Breakers().States()
+	for name, st := range states {
+		if st != "closed" {
+			t.Errorf("breaker %s stuck %q after healthy probe", name, st)
+		}
+	}
+}
+
+// TestGatewayForwardFaultSite drives the new cluster.forward fault
+// site: the first forward attempt dies as if the connection dropped,
+// and the gateway hands off to the ring successor transparently.
+func TestGatewayForwardFaultSite(t *testing.T) {
+	f := newFleet(t, 2, serve.Config{Workers: 1}, Config{BreakerThreshold: 3})
+	req := &serve.AnalyzeRequest{Pgen: &pgen.Config{Class: pgen.Fake, W: 16, H: 16, Seed: 11}}
+	succ := f.gw.Ring().Successors(mustKey(t, req))
+
+	prevInj := faults.Active()
+	faults.SetActive(faults.MustParse("cluster.forward:fail:label=" + succ[0] + ",times=1"))
+	defer faults.SetActive(prevInj)
+
+	resp, body := f.postAnalyze(req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(serve.HeaderShard); got != succ[1] {
+		t.Fatalf("answered by %q, want successor %q after injected forward failure", got, succ[1])
+	}
+	if got := resp.Header.Get(serve.HeaderRouteAttempt); got != "2" {
+		t.Fatalf("attempts %q, want 2", got)
+	}
+	m := decodeView(t, body).Result.Manifest
+	if m.Counters["serve.handoff"] != 1 {
+		t.Fatalf("handoff not recorded in manifest counters: %v", m.Counters)
+	}
+}

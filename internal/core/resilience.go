@@ -315,6 +315,24 @@ func (b *CircuitBreaker) Record(success bool) {
 	}
 }
 
+// Reset force-closes the breaker and clears its failure count. It is
+// the entry point for authoritative external health evidence: the
+// cluster gateway's probe loop closes a shard's breaker the moment a
+// real health check succeeds, instead of waiting out the cooldown for
+// a half-open probe. Ladder rungs never call it — a rung success
+// reaches the breaker through Record, which only closes from
+// half-open.
+func (b *CircuitBreaker) Reset() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
 // State returns the current position (closed when nil).
 func (b *CircuitBreaker) State() BreakerState {
 	if b == nil {

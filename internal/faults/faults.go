@@ -25,9 +25,11 @@
 //	amg.setup     fail
 //	dataset.build latency | stall
 //	features.map  latency
-//	serve.worker  panic
+//	serve.worker  panic | latency | stall
 //	cache.lookup  stale | evict | fail
 //	cache.delta   latency | fail
+//	cluster.probe   fail | latency
+//	cluster.forward fail | latency
 //
 // Modifier keys (all optional):
 //
@@ -69,6 +71,15 @@ const (
 	SiteServeWorker  = "serve.worker"  // job execution in internal/serve workers
 	SiteCacheLookup  = "cache.lookup"  // exact-hit artifact lookup in internal/cache
 	SiteCacheDelta   = "cache.delta"   // neighbor delta check before a warm start
+
+	// Cluster sites fire in the gateway (internal/cluster), labeled
+	// with the target shard's name: cluster.probe simulates a dead or
+	// slow shard health probe (fail records a probe failure without
+	// touching the network, latency delays the probe past its budget),
+	// and cluster.forward kills a request forward as if the shard
+	// connection dropped — exercising ring handoff to the successor.
+	SiteClusterProbe   = "cluster.probe"   // shard health probe in the gateway
+	SiteClusterForward = "cluster.forward" // request forward in the gateway
 )
 
 // Actions a fired fault can request. The call site interprets them;

@@ -3,12 +3,14 @@ package lint
 import "go/ast"
 
 // goroutinePackages are the only packages allowed to contain bare go
-// statements: the worker pool owns compute concurrency, and the serve
-// layer owns request/job lifecycle. Everywhere else a goroutine is an
+// statements: the worker pool owns compute concurrency, the serve
+// layer owns request/job lifecycle, and the cluster gateway owns its
+// probe-loop and drain lifecycle. Everywhere else a goroutine is an
 // unmanaged lifetime — no join, no panic barrier, no cancellation.
 var goroutinePackages = map[string]bool{
 	"irfusion/internal/parallel": true,
 	"irfusion/internal/serve":    true,
+	"irfusion/internal/cluster":  true,
 }
 
 // checkNoGo flags go statements outside the packages that own
@@ -22,7 +24,7 @@ func (r *Runner) checkNoGo(p *Package) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
 				r.report(g.Pos(), "nogo",
-					"go statement outside internal/parallel and internal/serve; route concurrency through the worker pool or the job queue")
+					"go statement outside internal/parallel, internal/serve, and internal/cluster; route concurrency through the worker pool or the job queue")
 			}
 			return true
 		})

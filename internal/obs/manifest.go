@@ -44,6 +44,11 @@ type Manifest struct {
 	// irfusion/run-manifest/v1 (absent = no cache interaction), so its
 	// addition needs no schema-version bump.
 	Cache *CacheSection `json:"cache,omitempty"`
+	// Shard names the serving shard that produced this run, so
+	// manifests aggregated across a cluster stay attributable. Optional
+	// key of irfusion/run-manifest/v1 (absent = standalone process), so
+	// its addition needs no schema-version bump.
+	Shard string `json:"shard,omitempty"`
 }
 
 // CacheSection aggregates the run's artifact-cache interactions for

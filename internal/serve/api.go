@@ -34,6 +34,23 @@ const (
 // maxIters bounds the per-request iteration budget (admission limit).
 const maxIters = 100000
 
+// Cluster routing headers, set by the internal/cluster gateway and
+// read here. They are defined in serve (the lower layer) so the shard
+// can record handoffs without importing the cluster package.
+const (
+	// HeaderShard is attached by the gateway to every proxied response:
+	// the name of the shard that actually answered.
+	HeaderShard = "X-Irfusion-Shard"
+	// HeaderRouteAttempt counts the gateway's forward attempts for this
+	// request, starting at 1; values above 1 mean ring handoff occurred.
+	HeaderRouteAttempt = "X-Irfusion-Route-Attempt"
+	// HeaderHandoffFrom names the shard a request was originally routed
+	// to when it reaches a ring successor after a failure handoff. The
+	// receiving shard records it in the job's run manifest (counter
+	// serve.handoff, config key handoff_from).
+	HeaderHandoffFrom = "X-Irfusion-Handoff-From"
+)
+
 // AnalyzeRequest is the body of POST /v1/analyze. Exactly one of
 // Spice (a SPICE power-grid deck as text) and Pgen (a generator
 // configuration) must be set.
@@ -155,13 +172,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
 	}
 	j := &Job{
-		req:       req,
-		submitted: time.Now(),
-		cancel:    cancel,
-		done:      make(chan struct{}),
-		status:    StatusQueued,
-		ctx:       ctx,
-		design:    design,
+		req:         req,
+		submitted:   time.Now(),
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		status:      StatusQueued,
+		ctx:         ctx,
+		design:      design,
+		handoffFrom: r.Header.Get(HeaderHandoffFrom),
 	}
 	s.reg.add(j)
 
@@ -254,6 +272,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	pw, pm := s.poolInfo()
 	writeJSON(w, code, map[string]any{
 		"status":         status,
+		"shard":          s.cfg.Name,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"workers":        s.cfg.Workers,
 		"in_flight":      s.InFlight(),
@@ -272,6 +291,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
+		"shard":    s.cfg.Name,
 		"counters": obs.GlobalCounters(),
 		"gauges": map[string]float64{
 			"serve.uptime_seconds": time.Since(s.start).Seconds(),
@@ -359,7 +379,7 @@ func (s *Server) prepare(req *AnalyzeRequest) (*pgen.Design, error) {
 	if err := circuit.ValidateNetlist(nl); err != nil {
 		return nil, err
 	}
-	size := inferDieSize(nl)
+	size := InferDieSize(nl)
 	if size <= 0 {
 		size = req.Resolution
 	}
@@ -371,14 +391,16 @@ func (s *Server) prepare(req *AnalyzeRequest) (*pgen.Design, error) {
 	}
 	return &pgen.Design{
 		Name: "request", W: size, H: size,
-		VDD:     padVoltage(nl),
+		VDD:     PadVoltage(nl),
 		Netlist: nl,
 	}, nil
 }
 
-// inferDieSize derives the die extent (µm == pixels) from structured
-// node names, mirroring the CLI's behaviour.
-func inferDieSize(nl *spice.Netlist) int {
+// InferDieSize derives the die extent (µm == pixels) from structured
+// node names, mirroring the CLI's behaviour. Exported so the cluster
+// gateway derives the same routing geometry for a SPICE deck that this
+// shard will derive when analyzing it.
+func InferDieSize(nl *spice.Netlist) int {
 	max := -1
 	for _, e := range nl.Elements {
 		for _, name := range [2]string{e.NodeA, e.NodeB} {
@@ -397,8 +419,8 @@ func inferDieSize(nl *spice.Netlist) int {
 	return max + 1
 }
 
-// padVoltage returns the first V-card voltage (the VDD rail).
-func padVoltage(nl *spice.Netlist) float64 {
+// PadVoltage returns the first V-card voltage (the VDD rail).
+func PadVoltage(nl *spice.Netlist) float64 {
 	for _, e := range nl.Elements {
 		if e.Type == spice.VoltageSource {
 			return e.Value
@@ -427,6 +449,13 @@ func (s *Server) runJob(j *Job) {
 		"precond": j.req.Precond,
 		"design":  j.design.Name,
 	}
+	if j.handoffFrom != "" {
+		// This job reached us through a gateway handoff after another
+		// shard failed it: record the provenance so the manifest proves
+		// the failover happened and names the shard it came from.
+		rec.Add("serve.handoff", 1)
+		cfgMap["handoff_from"] = j.handoffFrom
+	}
 	if s.cache != nil {
 		// Bind the per-process cache into the job context so the whole
 		// pipeline underneath (core, dataset) resolves it with
@@ -439,6 +468,7 @@ func (s *Server) runJob(j *Job) {
 
 	result, err := s.executeProtected(ctx, j)
 	manifest := rec.Manifest("serve.analyze", cfgMap)
+	manifest.Shard = s.cfg.Name
 	if !j.req.OmitManifest {
 		if result == nil {
 			result = &AnalyzeResult{Mode: j.req.Mode, Design: j.design.Name}

@@ -37,11 +37,12 @@ func (s Status) Terminal() bool {
 // Job is one queued analysis. All exported accessors are safe for
 // concurrent use; the JSON view is produced by Snapshot.
 type Job struct {
-	id        string
-	req       AnalyzeRequest
-	design    *pgen.Design
-	fp        string // design fingerprint; set by runJob when caching is on
-	submitted time.Time
+	id          string
+	req         AnalyzeRequest
+	design      *pgen.Design
+	fp          string // design fingerprint; set by runJob when caching is on
+	handoffFrom string // shard this job failed over from; "" normally
+	submitted   time.Time
 
 	ctx       context.Context // job lifetime (timeout + server shutdown)
 	cancel    context.CancelFunc
@@ -188,15 +189,24 @@ func (j *Job) Snapshot() JobView {
 // are never evicted, so a full registry of in-flight work simply grows
 // until jobs finish).
 type registry struct {
-	mu    sync.Mutex
-	next  int64
-	cap   int
-	jobs  map[string]*Job
-	order []string // insertion order for eviction
+	mu     sync.Mutex
+	next   int64
+	cap    int
+	prefix string // shard-name job-id prefix; "" when standalone
+	jobs   map[string]*Job
+	order  []string // insertion order for eviction
 }
 
-func newRegistry(capacity int) *registry {
-	return &registry{cap: capacity, jobs: make(map[string]*Job)}
+// newRegistry builds a registry whose ids carry the shard name when
+// one is configured ("shard0-job-000001") so a cluster gateway can
+// route job lookups to the owning shard by id alone. Standalone
+// servers keep the bare "job-000001" form.
+func newRegistry(capacity int, shard string) *registry {
+	prefix := ""
+	if shard != "" {
+		prefix = shard + "-"
+	}
+	return &registry{cap: capacity, prefix: prefix, jobs: make(map[string]*Job)}
 }
 
 // add registers a new job under a fresh id.
@@ -204,7 +214,7 @@ func (r *registry) add(j *Job) string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.next++
-	id := fmt.Sprintf("job-%06d", r.next)
+	id := fmt.Sprintf("%sjob-%06d", r.prefix, r.next)
 	j.id = id
 	r.jobs[id] = j
 	r.order = append(r.order, id)

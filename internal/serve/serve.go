@@ -50,6 +50,12 @@ var (
 
 // Config sizes the service. Zero values take the documented defaults.
 type Config struct {
+	// Name is the shard identity of this server in a cluster: it
+	// prefixes every job id (so a gateway can route job lookups back
+	// to the owning shard), and is reported by /healthz, /metricsz,
+	// and every per-request run manifest. Empty means standalone — job
+	// ids and reports are exactly as before clustering existed.
+	Name string
 	// Workers is the number of job-queue workers — the number of
 	// analyses in flight at once. Each analysis additionally fans its
 	// numerical kernels out on the shared internal/parallel pool.
@@ -154,7 +160,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
 		queue:      make(chan *Job, cfg.QueueDepth),
-		reg:        newRegistry(cfg.MaxJobs),
+		reg:        newRegistry(cfg.MaxJobs, cfg.Name),
 		start:      time.Now(),
 		breakers:   core.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		baseCtx:    ctx,
@@ -185,6 +191,9 @@ func New(cfg Config) *Server {
 
 // Handler returns the HTTP handler tree of the service.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Name returns the configured shard identity ("" when standalone).
+func (s *Server) Name() string { return s.cfg.Name }
 
 // Workers returns the configured worker concurrency.
 func (s *Server) Workers() int { return s.cfg.Workers }
