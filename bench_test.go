@@ -259,6 +259,75 @@ func BenchmarkSolverSpMV(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverSpMVFormats races the storage formats on the same
+// conductance matrix and vector: the csr row is the baseline kernel,
+// the sell row the SELL-C-σ one (C-lane accumulators + int32 column
+// indices), computing bitwise-identical products. bench-check pins
+// sell ≥ 1.5× csr as the format speedup gate (bench.baseline
+// "ratios") — the machine-independent number the sparse-format
+// selection exists to win.
+func BenchmarkSolverSpMVFormats(b *testing.B) {
+	f := benchFixtures(b)
+	x := make([]float64, f.sys.N())
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.Run("csr", func(b *testing.B) {
+		y := make([]float64, f.sys.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.sys.G.MulVec(y, x)
+		}
+	})
+	b.Run("sell", func(b *testing.B) {
+		s := f.sys.G.SELL()
+		y := make([]float64, f.sys.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.MulVec(y, x)
+		}
+	})
+}
+
+// BenchmarkSolverConvergedPrecision races the two converged AMG-PCG
+// arithmetic paths on the same system: full float64 AMG-PCG against
+// the mixed-precision rung (float32 V-cycle inside float64 iterative
+// refinement). Both converge to 1e-10; the mixed row's win comes from
+// halved smoother/transfer memory traffic per cycle, paid back
+// against its extra refinement rounds.
+func BenchmarkSolverConvergedPrecision(b *testing.B) {
+	f := benchFixtures(b)
+	b.Run("full", func(b *testing.B) {
+		x := make([]float64, f.sys.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range x {
+				x[j] = 0
+			}
+			res, err := solver.PCG(f.sys.G, x, f.sys.I, f.hier, solver.DefaultOptions())
+			if err != nil || !res.Converged {
+				b.Fatalf("err=%v converged=%v", err, res.Converged)
+			}
+		}
+	})
+	b.Run("mixed", func(b *testing.B) {
+		x := make([]float64, f.sys.N())
+		h32 := amg.NewHierarchy32(f.hier)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range x {
+				x[j] = 0
+			}
+			res, err := solver.MPPCGCtx(ctx, f.sys.G, x, f.sys.I, h32, solver.DefaultOptions())
+			if err != nil || !res.Converged {
+				b.Fatalf("err=%v converged=%v", err, res.Converged)
+			}
+		}
+	})
+}
+
 // --- Front end and features ------------------------------------------
 
 func BenchmarkSpiceParse(b *testing.B) {

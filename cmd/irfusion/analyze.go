@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"time"
@@ -31,6 +32,8 @@ func cmdAnalyze(args []string) error {
 	seed := fs.Int64("seed", 1, "generator seed")
 	iters := fs.Int("iters", 0, "PCG iteration budget (0 = converge)")
 	precond := fs.String("precond", "amg", "preconditioner for budgeted solves: amg|ssor")
+	precision := fs.String("precision", "full", "converged-solve arithmetic: full|mixed (float32 V-cycle inside float64 refinement)")
+	format := fs.String("format", "auto", "SpMV storage format: auto|csr|sell")
 	modelFile := fs.String("model-file", "", "trained checkpoint: run the fused numerical+ML pipeline")
 	pgm := fs.String("pgm", "", "write the drop map as PGM")
 	resFlag := fs.Int("res", 0, "raster resolution (default: die size or model resolution)")
@@ -42,6 +45,16 @@ func cmdAnalyze(args []string) error {
 	fs.Parse(args)
 	if err := applyFaults(*faultSpec); err != nil {
 		return err
+	}
+	switch *precision {
+	case "full", "mixed":
+	default:
+		return fmt.Errorf("-precision %q: want full or mixed", *precision)
+	}
+	switch *format {
+	case "auto", "csr", "sell":
+	default:
+		return fmt.Errorf("-format %q: want auto, csr, or sell", *format)
 	}
 	if *useCache {
 		prev := cache.SetActive(cache.NewFromEnv())
@@ -86,6 +99,8 @@ func cmdAnalyze(args []string) error {
 		"seed":       *seed,
 		"iters":      *iters,
 		"precond":    *precond,
+		"precision":  *precision,
+		"format":     *format,
 		"model_file": *modelFile,
 		"resolution": res,
 		"cache":      *useCache,
@@ -124,7 +139,10 @@ func cmdAnalyze(args []string) error {
 			}
 			log.Printf("fused pipeline: worst-case IR drop %.4g V (%.3fs)", m.Max(), rt.Seconds())
 		} else {
-			na := &core.NumericalAnalyzer{Iters: *iters, Resolution: res, Precond: *precond}
+			na := &core.NumericalAnalyzer{
+				Iters: *iters, Resolution: res, Precond: *precond,
+				Precision: *precision, Format: *format,
+			}
 			var resid float64
 			m, rt, resid, err = na.Analyze(dd)
 			if err != nil {

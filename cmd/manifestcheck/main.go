@@ -25,6 +25,11 @@
 // With -shard NAME the check requires the manifest's shard field to
 // equal NAME — the gate of cluster deployments, proving a job manifest
 // really came from the shard the gateway claims routed it.
+//
+// With -mp the check requires at least one solve record with precision
+// "mixed" — the gate of the mp-oracle CI job, proving a
+// -precision mixed run really took the mixed-precision rung rather
+// than silently serving from full precision.
 package main
 
 import (
@@ -45,8 +50,10 @@ func main() {
 		"require a cache section with at least one store and one hit, warm start, or stale rejection")
 	wantShard := flag.String("shard", "",
 		"require the manifest's shard identity to equal this name")
+	wantMP := flag.Bool("mp", false,
+		"require at least one solve record with precision \"mixed\"")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-degraded] [-cache] [-shard NAME] <manifest.json>")
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-degraded] [-cache] [-mp] [-shard NAME] <manifest.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,13 +62,13 @@ func main() {
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
-	if err := check(path, *degraded, *wantCache, *wantShard); err != nil {
+	if err := check(path, *degraded, *wantCache, *wantMP, *wantShard); err != nil {
 		log.Fatalf("manifestcheck: %s: %v", path, err)
 	}
 	log.Printf("%s: ok", path)
 }
 
-func check(path string, wantDegraded, wantCache bool, wantShard string) error {
+func check(path string, wantDegraded, wantCache, wantMP bool, wantShard string) error {
 	m, err := obs.ReadManifestFile(path)
 	if err != nil {
 		return err
@@ -115,6 +122,19 @@ func check(path string, wantDegraded, wantCache bool, wantShard string) error {
 	if wantCache {
 		if err := checkCache(m); err != nil {
 			return err
+		}
+	}
+	if wantMP {
+		mixed := false
+		for _, s := range m.Solves {
+			if s.Precision == obs.PrecisionMixed {
+				mixed = true
+				break
+			}
+		}
+		if !mixed {
+			return fmt.Errorf("-mp: no solve record with precision %q (%d solves present) — the run never took the mixed-precision rung",
+				obs.PrecisionMixed, len(m.Solves))
 		}
 	}
 	return nil

@@ -1,0 +1,26 @@
+package amg
+
+// Zero-allocation guard for the float32 V-cycle: once built, a
+// Hierarchy32.Apply must run entirely in its preallocated workspace —
+// the mixed-precision preconditioner sits inside the inner PCG loop,
+// so any steady-state allocation here multiplies across every
+// iteration of every refinement round.
+
+import "testing"
+
+func TestZeroAllocHierarchy32Apply(t *testing.T) {
+	pinSerialPool(t)
+	a := laplacian2D(16, 16)
+	h, err := Build(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h32 := NewHierarchy32(h)
+	n := a.Rows()
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%7) + 1
+	}
+	requireZeroAllocs(t, "Hierarchy32.Apply", func() { h32.Apply(z, r) })
+}

@@ -1,0 +1,198 @@
+package amg
+
+// Mixed-precision support: Hierarchy32 is the float32 shadow of a
+// constructed Hierarchy — float32 level operators, transfer operators,
+// and Gauss-Seidel smoothers running a plain V-cycle — used as the
+// inner preconditioner of the float64 iterative-refinement solve
+// (solver.MPPCGCtx). Only the coarsest-level direct solve stays in
+// float64: it reuses the hierarchy's existing dense Cholesky
+// factorization through small conversion buffers, which costs nothing
+// at coarse sizes and keeps the factorization single-sourced.
+
+import (
+	"time"
+
+	"irfusion/internal/obs"
+	"irfusion/internal/parallel"
+	"irfusion/internal/sparse"
+)
+
+// level32 is one level of the float32 hierarchy: the float32 views of
+// the operator and prolongation plus per-level cycling workspace.
+type level32 struct {
+	a *sparse.CSR32
+	p *sparse.CSR32 // nil on the coarsest level
+
+	x, b, r []float32
+}
+
+// Hierarchy32 is the float32 shadow of a Hierarchy. It implements
+// solver.Preconditioner: Apply rounds the float64 residual down to
+// float32, runs one V-cycle entirely in float32 (except the coarsest
+// direct solve), and widens the correction back. One instance holds
+// mutable cycling workspace and must not be shared across concurrent
+// solves — derive one per solve from a (cloned) float64 hierarchy.
+type Hierarchy32 struct {
+	levels []*level32
+	coarse *sparse.DenseCholesky
+	pre    int
+	post   int
+
+	// Coarsest-level float64 conversion buffers for the shared
+	// Cholesky solve.
+	cb, cx []float64
+	// Top-level float32 buffers backing the float64 Apply facade.
+	r32, z32 []float32
+}
+
+// NewHierarchy32 derives the float32 shadow of h. The conversion
+// copies only values (sparsity structures are shared with the float64
+// matrices), so it is one O(nnz) pass over the hierarchy — cheap next
+// to the setup that built h, and h itself stays untouched, which is
+// what lets cached float64 hierarchies serve mixed-precision solves.
+func NewHierarchy32(h *Hierarchy) *Hierarchy32 {
+	hh := &Hierarchy32{
+		coarse: h.coarse,
+		pre:    h.opts.PreSmooth,
+		post:   h.opts.PostSmooth,
+	}
+	if hh.pre <= 0 && hh.post <= 0 {
+		hh.pre, hh.post = 1, 1
+	}
+	for _, lvl := range h.Levels {
+		n := lvl.A.Rows()
+		l := &level32{
+			a: sparse.NewCSR32(lvl.A),
+			x: make([]float32, n),
+			b: make([]float32, n),
+			r: make([]float32, n),
+		}
+		if lvl.P != nil {
+			l.p = sparse.NewCSR32(lvl.P)
+		}
+		hh.levels = append(hh.levels, l)
+	}
+	nc := hh.levels[len(hh.levels)-1].a.Rows()
+	hh.cb = make([]float64, nc)
+	hh.cx = make([]float64, nc)
+	n0 := hh.levels[0].a.Rows()
+	hh.r32 = make([]float32, n0)
+	hh.z32 = make([]float32, n0)
+	return hh
+}
+
+// NumLevels returns the depth of the hierarchy.
+func (h *Hierarchy32) NumLevels() int { return len(h.levels) }
+
+// Apply is the preconditioner application z = M⁻¹·r: one float32
+// V-cycle from a zero initial guess, entered and left through the
+// precision boundary. When a run recorder is active each application
+// accumulates into the "amg.cycle32" timing, keeping the mixed-path
+// cycle cost separate from the float64 "amg.cycle" one.
+func (h *Hierarchy32) Apply(z, r []float64) {
+	if rec := obs.Active(); rec != nil {
+		start := time.Now()
+		defer func() { rec.AddSeconds("amg.cycle32", time.Since(start)) }()
+	}
+	top := h.levels[0]
+	sparse.Downconvert32(top.b, r)
+	sparse.Zero32(top.x)
+	h.vcycle(0)
+	sparse.Upconvert64(z, top.x)
+}
+
+// vcycle runs one V-cycle at the given level, improving levels[level].x
+// for A·x = b from whatever x holds on entry.
+func (h *Hierarchy32) vcycle(level int) {
+	lvl := h.levels[level]
+	if level == len(h.levels)-1 {
+		// Coarsest level: the shared float64 Cholesky solve through
+		// the conversion buffers.
+		sparse.Upconvert64(h.cb, lvl.b)
+		h.coarse.Solve(h.cx, h.cb)
+		sparse.Downconvert32(lvl.x, h.cx)
+		return
+	}
+	for s := 0; s < h.pre; s++ {
+		sparse.GaussSeidelForward32(lvl.a, lvl.x, lvl.b)
+	}
+	// Residual restriction: b_c = Pᵀ(b - A·x), all in float32.
+	lvl.a.MulVec(lvl.r, lvl.x)
+	residualSub32(lvl.r, lvl.b)
+	next := h.levels[level+1]
+	restrict32(lvl.p, next.b, lvl.r)
+	sparse.Zero32(next.x)
+	h.vcycle(level + 1)
+	prolongAdd32(lvl.p, lvl.x, next.x)
+	for s := 0; s < h.post; s++ {
+		sparse.GaussSeidelBackward32(lvl.a, lvl.x, lvl.b)
+	}
+}
+
+// residualSub32 rewrites r as b - r (r holds A·x on entry).
+//
+//irfusion:hotpath
+func residualSub32(r, b []float32) {
+	n := len(r)
+	pool := parallel.Default()
+	if pool.SerialFor(n) {
+		cForSerial.Inc()
+		residualSubRange32(r, b, 0, n)
+		return
+	}
+	pool.For(n, func(lo, hi int) {
+		residualSubRange32(r, b, lo, hi)
+	})
+}
+
+// residualSubRange32 is the serial r = b - r leaf over [lo, hi).
+//
+//irfusion:hotpath
+func residualSubRange32(r, b []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r[i] = b[i] - r[i]
+	}
+}
+
+// restrict32 computes rc = Pᵀ·r in float32; sequential for the same
+// scatter-race reason as the float64 restrict.
+//
+//irfusion:hotpath
+func restrict32(p *sparse.CSR32, rc, r []float32) {
+	sparse.Zero32(rc)
+	for i := 0; i < p.RowsN; i++ {
+		for q := p.RowPtr[i]; q < p.RowPtr[i+1]; q++ {
+			rc[p.ColInd[q]] += p.Val[q] * r[i]
+		}
+	}
+}
+
+// prolongAdd32 computes x += P·xc in float32; row-parallel like the
+// float64 prolongAdd.
+//
+//irfusion:hotpath
+func prolongAdd32(p *sparse.CSR32, x, xc []float32) {
+	if p.RowsN == 0 {
+		return
+	}
+	pool := parallel.Default()
+	if pool.SerialFor(p.RowsN) {
+		cForSerial.Inc()
+		prolongAddRange32(p, x, xc, 0, p.RowsN)
+		return
+	}
+	pool.For(p.RowsN, func(lo, hi int) {
+		prolongAddRange32(p, x, xc, lo, hi)
+	})
+}
+
+// prolongAddRange32 is the serial x += P·xc leaf over rows [lo, hi).
+//
+//irfusion:hotpath
+func prolongAddRange32(p *sparse.CSR32, x, xc []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for q := p.RowPtr[i]; q < p.RowPtr[i+1]; q++ {
+			x[i] += p.Val[q] * xc[p.ColInd[q]]
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"context"
+	"testing"
+
+	"irfusion/internal/amg"
+	"irfusion/internal/obs"
+	"irfusion/internal/pgen"
+	"irfusion/internal/solver"
+)
+
+// TestWarmStartAcrossPrecisions pins the cross-precision donation
+// contract: system artifacts always carry the float64 hierarchy and a
+// float64 golden (a mixed-precision solve converges to the same
+// float64 fixed point — enforced by the Cholesky golden oracle), so
+// warm-start donation is deliberately precision-agnostic. A donor
+// produced by the mixed path is ACCEPTED by a full-precision consumer
+// and vice versa, and in both directions the warm solve must agree
+// with a cold solve of the same precision to GuardTol. If donation is
+// ever made precision-aware, this test is the contract to renegotiate.
+func TestWarmStartAcrossPrecisions(t *testing.T) {
+	f := buildWarmFixture(t)
+	ctx := context.Background()
+
+	// The mixed-precision golden of the same pinned design: same
+	// system, solved through the float32 V-cycle refinement path.
+	mpGolden := make([]float64, f.sys.N())
+	res, err := solver.MPPCGCtx(ctx, f.sys.G, mpGolden, f.sys.I,
+		amg.NewHierarchy32(f.hier), solver.DefaultOptions())
+	if err != nil || !res.Converged {
+		t.Fatalf("mixed golden solve: err=%v converged=%v", err, res.Converged)
+	}
+
+	eco := pgen.Perturb(f.design, 0.01, 41)
+	ecoSys := assemble(t, eco)
+	// Budget the search at the measured distance: donation policy
+	// (thresholds) is TestFindWarmStartThresholds' business — this
+	// test pins only that precision never factors into it.
+	budget := Delta(ecoSys.G, f.sys.G)
+	if budget <= 0 || budget >= 1 {
+		t.Fatalf("perturbed delta = %g, want a real fractional change", budget)
+	}
+
+	t.Run("mixed-donor-full-consumer", func(t *testing.T) {
+		c := New(0, 0)
+		StoreSystem(ctx, c, "test", &SystemArtifact{
+			Fingerprint: DesignFingerprint(f.design),
+			N:           f.sys.N(), G: f.sys.G, I: f.sys.I,
+			Golden:    mpGolden,
+			Hier:      f.hier,
+			Precision: obs.PrecisionMixed,
+		})
+		nb, _, err := FindWarmStart(ctx, c, ecoSys.G, budget)
+		if err != nil || nb == nil {
+			t.Fatalf("mixed-produced donor refused: nb=%v err=%v", nb, err)
+		}
+		if nb.Precision != obs.PrecisionMixed {
+			t.Fatalf("donor precision tag %q, want %q", nb.Precision, obs.PrecisionMixed)
+		}
+		cold := coldSolve(t, ecoSys, "amg")
+		warm := append([]float64(nil), nb.Golden...)
+		res, err := solver.PCG(ecoSys.G, warm, ecoSys.I, nb.Hier.Clone(), solver.DefaultOptions())
+		if err != nil || !res.Converged {
+			t.Fatalf("warm full-precision solve: err=%v converged=%v", err, res.Converged)
+		}
+		if diff := solver.MaxAbsDiff(warm, cold); diff > GuardTol {
+			t.Fatalf("warm (mixed donor) and cold full solve disagree by %g (tol %g)", diff, GuardTol)
+		}
+	})
+
+	t.Run("full-donor-mixed-consumer", func(t *testing.T) {
+		c := New(0, 0)
+		StoreSystem(ctx, c, "test", &SystemArtifact{
+			Fingerprint: DesignFingerprint(f.design),
+			N:           f.sys.N(), G: f.sys.G, I: f.sys.I,
+			Golden:    f.golden,
+			Hier:      f.hier,
+			Precision: obs.PrecisionFull,
+		})
+		nb, _, err := FindWarmStart(ctx, c, ecoSys.G, budget)
+		if err != nil || nb == nil {
+			t.Fatalf("full-produced donor refused by mixed consumer: nb=%v err=%v", nb, err)
+		}
+
+		// Cold mixed solve of the perturbed system: fresh hierarchy,
+		// zero guess.
+		coldHier, err := amg.Build(ecoSys.G, amg.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold := make([]float64, ecoSys.N())
+		cres, err := solver.MPPCGCtx(ctx, ecoSys.G, cold, ecoSys.I,
+			amg.NewHierarchy32(coldHier), solver.DefaultOptions())
+		if err != nil || !cres.Converged {
+			t.Fatalf("cold mixed solve: err=%v converged=%v", err, cres.Converged)
+		}
+
+		// Warm mixed solve: donor golden as guess, the float32 shadow
+		// of the donor's (cloned, foreign) hierarchy as preconditioner.
+		warm := append([]float64(nil), nb.Golden...)
+		wres, err := solver.MPPCGCtx(ctx, ecoSys.G, warm, ecoSys.I,
+			amg.NewHierarchy32(nb.Hier.Clone()), solver.DefaultOptions())
+		if err != nil || !wres.Converged {
+			t.Fatalf("warm mixed solve: err=%v converged=%v", err, wres.Converged)
+		}
+		if diff := solver.MaxAbsDiff(warm, cold); diff > GuardTol {
+			t.Fatalf("warm (full donor) and cold mixed solve disagree by %g (tol %g)", diff, GuardTol)
+		}
+	})
+}

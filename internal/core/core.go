@@ -612,6 +612,7 @@ func hotspotWeights(y *nn.Tensor, hw float64) *nn.Tensor {
 // serving process.
 const (
 	RungAMG        = "numerical.amg"
+	RungAMGMP      = "numerical.amg.mp"
 	RungAMGWarm    = "numerical.amg.warm"
 	RungSSOR       = "numerical.ssor"
 	RungRandomWalk = "numerical.randomwalk"
@@ -636,6 +637,20 @@ type NumericalAnalyzer struct {
 	Iters      int
 	Resolution int
 	Precond    string
+	// Precision selects the arithmetic path of converged AMG solves:
+	// "mixed" prepends the mixed-precision rung (RungAMGMP — float32
+	// V-cycle inside float64 iterative refinement) ahead of the
+	// full-precision AMG rung, so a stagnating refinement falls back
+	// to full precision through the ordinary ladder mechanics with a
+	// degradation trail. Empty or "full" runs full precision only.
+	// Budgeted solves (Iters > 0) ignore it: their per-iteration
+	// progress is the quantity under study in the Fig-7 trade-off and
+	// the refinement loop has no comparable iteration budget.
+	Precision string
+	// Format overrides the SpMV storage format of the PCG rungs
+	// ("auto", "csr", "sell"); empty keeps the solver default
+	// (automatic per-matrix selection).
+	Format string
 	// Resilience tunes retries/backoff and optionally carries the
 	// shared circuit-breaker set of a serving process. The zero value
 	// means defaults (see ResilienceOptions).
@@ -733,10 +748,17 @@ func (n *NumericalAnalyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*gr
 			return nil, 0, 0, err
 		}
 		if cc != nil && fp != "" && res.Converged {
+			prec := obs.PrecisionFull
+			if n.Precision == "mixed" {
+				prec = obs.PrecisionMixed
+			}
 			art := &cache.SystemArtifact{
 				Fingerprint: fp, N: sys.N(), G: sys.G, I: sys.I,
 				Golden: append([]float64(nil), x...),
-				Hier:   hier, // nil unless the cold AMG rung built one for sys.G
+				Hier:   hier, // nil unless a cold AMG rung built one for sys.G
+				// The float64 hierarchy and golden are stored either
+				// way; Precision only records which path produced them.
+				Precision: prec,
 			}
 			cache.StoreSystem(ctx, cc, "numerical.solve", art)
 		}
@@ -758,6 +780,9 @@ func (n *NumericalAnalyzer) solveOpts(label string) solver.Options {
 		opts = solver.RoughOptions(n.Iters)
 	}
 	opts.Label = label
+	if n.Format != "" {
+		opts.Format = n.Format
+	}
 	return opts
 }
 
@@ -805,7 +830,35 @@ func (n *NumericalAnalyzer) ladderRungs(sys *circuit.System, x []float64, res *s
 	if n.Iters > 0 && n.Precond != "amg" {
 		return []LadderRung{ssorRung, rwRung}
 	}
-	return []LadderRung{amgRung, ssorRung, rwRung}
+	rungs := []LadderRung{amgRung, ssorRung, rwRung}
+	if n.Precision == "mixed" && n.Iters <= 0 {
+		// The mixed-precision rung sits ahead of full-precision AMG:
+		// it builds (and publishes) the same float64 hierarchy, derives
+		// the float32 shadow, and refines in float64. A stagnating
+		// refinement (solver.ErrMPStagnation) classifies as structural,
+		// so the ladder falls straight to the full-precision rung — the
+		// degradation trail records the fallback.
+		mpRung := LadderRung{Name: RungAMGMP, Run: func(ctx context.Context) error {
+			h, err := amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
+			if err != nil {
+				return err
+			}
+			if hierOut != nil {
+				*hierOut = h
+			}
+			for i := range x {
+				x[i] = 0
+			}
+			r, err := solver.MPPCGCtx(ctx, sys.G, x, sys.I, amg.NewHierarchy32(h), n.solveOpts(RungAMGMP))
+			if err != nil {
+				return err
+			}
+			*res = r
+			return nil
+		}}
+		rungs = append([]LadderRung{mpRung}, rungs...)
+	}
+	return rungs
 }
 
 // randomWalkSolve is the last numerical rung: the Monte-Carlo solver

@@ -18,6 +18,7 @@ import (
 	"irfusion/internal/obs"
 	"irfusion/internal/pgen"
 	"irfusion/internal/solver"
+	"irfusion/internal/sparse"
 	"irfusion/internal/spice"
 )
 
@@ -69,6 +70,16 @@ type AnalyzeRequest struct {
 	// Precond selects the budgeted-solve preconditioner: "amg"
 	// (default) or "ssor". Ignored by fused mode.
 	Precond string `json:"precond,omitempty"`
+	// Precision selects the converged-solve arithmetic: "full"
+	// (default) or "mixed" (float32 V-cycle inside float64 iterative
+	// refinement; falls back to full precision on stagnation). Ignored
+	// by budgeted solves (iters > 0) and by fused mode.
+	Precision string `json:"precision,omitempty"`
+	// Format selects the SpMV storage format: "auto" (default;
+	// row-length-variance-driven), "csr", or "sell". A pure
+	// performance knob — every format computes bitwise-identical
+	// results.
+	Format string `json:"format,omitempty"`
 	// Resolution is the raster size of the returned map (numerical
 	// mode; default: the design's die size). Fused mode always
 	// rasters at the model's training resolution.
@@ -326,6 +337,20 @@ func (s *Server) prepare(req *AnalyzeRequest) (*pgen.Design, error) {
 	default:
 		return nil, fmt.Errorf("unknown precond %q (want amg or ssor)", req.Precond)
 	}
+	switch req.Precision {
+	case "":
+		req.Precision = "full"
+	case "full", "mixed":
+	default:
+		return nil, fmt.Errorf("unknown precision %q (want full or mixed)", req.Precision)
+	}
+	switch req.Format {
+	case "":
+		req.Format = sparse.FormatAuto
+	case sparse.FormatAuto, sparse.FormatCSR, sparse.FormatSELL:
+	default:
+		return nil, fmt.Errorf("unknown format %q (want auto, csr, or sell)", req.Format)
+	}
 	if req.Iters < 0 || req.Iters > maxIters {
 		return nil, fmt.Errorf("iters %d out of range [0, %d]", req.Iters, maxIters)
 	}
@@ -444,10 +469,12 @@ func (s *Server) runJob(j *Job) {
 	rec.Add("serve.job", 1)
 	ctx := obs.WithRecorder(j.ctx, rec)
 	cfgMap := map[string]any{
-		"mode":    j.req.Mode,
-		"iters":   j.req.Iters,
-		"precond": j.req.Precond,
-		"design":  j.design.Name,
+		"mode":      j.req.Mode,
+		"iters":     j.req.Iters,
+		"precond":   j.req.Precond,
+		"precision": j.req.Precision,
+		"format":    j.req.Format,
+		"design":    j.design.Name,
 	}
 	if j.handoffFrom != "" {
 		// This job reached us through a gateway handoff after another
@@ -590,8 +617,12 @@ func responseKey(j *Job) string {
 		return ""
 	}
 	r := &j.req
-	return fmt.Sprintf("resp|%s|mode=%s,iters=%d,precond=%s,res=%d,map=%t",
-		j.fp, r.Mode, r.Iters, r.Precond, r.Resolution, r.IncludeMap)
+	// Precision and Format qualify the key even though both paths
+	// converge to the same answer: manifests differ (rung names,
+	// fallback trails), and a format-forced run must not satisfy an
+	// auto-format one.
+	return fmt.Sprintf("resp|%s|mode=%s,iters=%d,precond=%s,prec=%s,fmt=%s,res=%d,map=%t",
+		j.fp, r.Mode, r.Iters, r.Precond, r.Precision, r.Format, r.Resolution, r.IncludeMap)
 }
 
 // executeUncached dispatches the actual analysis of one job.
@@ -606,6 +637,7 @@ func (s *Server) executeUncached(ctx context.Context, j *Job) (*AnalyzeResult, e
 	}
 	na := &core.NumericalAnalyzer{
 		Iters: req.Iters, Resolution: res, Precond: req.Precond,
+		Precision: req.Precision, Format: req.Format,
 		Resilience: s.resilience(),
 	}
 	m, rt, resid, err := na.AnalyzeCtx(ctx, d)

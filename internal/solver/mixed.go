@@ -1,0 +1,179 @@
+// Mixed-precision solve: a float64 iterative-refinement outer loop
+// whose corrections come from inner PCG solves preconditioned by a
+// float32 AMG V-cycle (amg.Hierarchy32). The outer loop recomputes the
+// true residual in float64 each round, so the fixed point it converges
+// to is the float64 solution — the float32 arithmetic only shapes how
+// fast each correction is, never what the answer is. The harness test
+// pinning this is the Cholesky golden oracle (golden_test.go).
+
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"irfusion/internal/obs"
+	"irfusion/internal/parallel"
+	"irfusion/internal/sparse"
+)
+
+// ErrMPStagnation is returned when the float64 refinement loop stops
+// making progress — the per-round residual reduction falls above
+// mpStagnationFactor, or the outer budget runs out short of tolerance.
+// On ill-conditioned systems the float32 V-cycle loses too much of the
+// correction to rounding for refinement to converge; the degradation
+// ladder in internal/core treats this as structural and falls straight
+// to the full-precision AMG rung.
+var ErrMPStagnation = errors.New("solver: mixed-precision refinement stagnated")
+
+const (
+	// mpInnerTol is the relative residual reduction each inner PCG
+	// correction targets. Near the float32 rounding floor there is no
+	// point asking the inner solve for more.
+	mpInnerTol = 1e-4
+	// mpInnerIters caps one inner correction solve.
+	mpInnerIters = 100
+	// mpMaxOuter caps the refinement rounds. Each round reduces the
+	// residual by roughly mpInnerTol, so a healthy solve reaches 1e-10
+	// in three or four rounds; needing more than mpMaxOuter means the
+	// float32 preconditioner is not pulling its weight.
+	mpMaxOuter = 12
+	// mpStagnationFactor is the refinement give-up threshold: a round
+	// that leaves more than this fraction of the residual standing
+	// (reduction factor ≥ 0.9) marks the loop as stagnated.
+	mpStagnationFactor = 0.9
+)
+
+// MPPCGCtx solves A·x = b with mixed-precision AMG-PCG: float64
+// iterative refinement around inner PCG corrections preconditioned by
+// m32 (normally an amg.Hierarchy32, the float32 V-cycle). x holds the
+// initial guess on entry and the solution on return.
+//
+// Each round computes the true float64 residual r = b − A·x, solves
+// the correction system A·e ≈ r with a few PCG iterations, and updates
+// x += e; opts.Tol (on ‖b−Ax‖/‖b‖, float64) decides convergence
+// exactly as in PCGCtx, so a converged mixed solve is interchangeable
+// with a full-precision one. When refinement stagnates the partial
+// Result comes back wrapped in ErrMPStagnation so ladder callers can
+// fall back to full precision.
+//
+// The solve reports one SolveRecord under opts.Label (default
+// "mp-pcg") with Precision "mixed": Iterations counts the inner PCG
+// iterations summed over all rounds, History holds the outer residual
+// trace. Inner solves are recorded nowhere — their histories are
+// diagnostics of the correction equation, not of the system being
+// solved.
+func MPPCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m32 Preconditioner, opts Options) (res Result, err error) {
+	op := resolveFormat(a, opts.Format)
+	if rec := obs.ActiveOr(ctx); rec != nil {
+		label := opts.Label
+		if label == "" {
+			label = "mp-pcg"
+		}
+		start := time.Now()
+		defer func() {
+			rec.RecordSolve(obs.SolveRecord{
+				Label:      label,
+				Iterations: res.Iterations,
+				Residual:   res.Residual,
+				Converged:  res.Converged,
+				Seconds:    time.Since(start).Seconds(),
+				History:    res.History,
+				Format:     op.Format(),
+				Precision:  obs.PrecisionMixed,
+			})
+		}()
+	}
+	n := a.Rows()
+	if len(x) != n || len(b) != n {
+		return Result{}, errors.New("solver: dimension mismatch")
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+
+	bn := sparse.Norm2(b)
+	if bn == 0 { //irfusion:exact a zero right-hand side has the exact solution x = 0; any nonzero norm must run the solve
+		sparse.Zero(x)
+		return Result{Converged: true}, nil
+	}
+
+	r := make([]float64, n)
+	e := make([]float64, n)
+	pool := parallel.Default()
+	residual := func() float64 {
+		op.MulVec(r, x)
+		pool.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r[i] = b[i] - r[i]
+			}
+		})
+		return sparse.Norm2(r) / bn
+	}
+
+	// Inner solve records would bury the manifest under one entry per
+	// refinement round; bind a throwaway recorder so they vanish while
+	// fault injection and cancellation still flow through ctx.
+	ictx := obs.WithRecorder(ctx, obs.NewRecorder())
+	iopts := Options{
+		Tol:      mpInnerTol,
+		MaxIter:  mpInnerIters,
+		Flexible: true,
+		Format:   opts.Format,
+		Label:    opts.Label,
+	}
+
+	rel := residual()
+	if opts.Record {
+		res.History = append(res.History, rel)
+	}
+	res.Residual = rel
+	if rel == 0 || rel < opts.Tol { //irfusion:exact an exactly zero residual means the guess already solves the system
+		res.Converged = true
+		return res, nil
+	}
+	for outer := 0; outer < mpMaxOuter; outer++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return res, fmt.Errorf("%w after %d refinement rounds: %w", ErrCancelled, outer, cerr)
+		}
+		// Correction solve A·e ≈ r from a zero guess, preconditioned
+		// by the float32 V-cycle.
+		sparse.Zero(e)
+		ires, ierr := PCGCtx(ictx, a, e, r, m32, iopts)
+		res.Iterations += ires.Iterations
+		if ierr != nil {
+			if errors.Is(ierr, ErrCancelled) || errors.Is(ierr, ErrBreakdown) {
+				return res, ierr
+			}
+			// Indefiniteness here is float32 rounding destroying the
+			// preconditioner's positive definiteness — a stagnation of
+			// the mixed path, not of the system.
+			return res, fmt.Errorf("%w: correction solve failed: %w", ErrMPStagnation, ierr)
+		}
+		sparse.Axpy(1, e, x)
+
+		prev := rel
+		rel = residual()
+		if math.IsNaN(rel) || math.IsInf(rel, 0) {
+			res.Residual = rel
+			return res, ErrBreakdown
+		}
+		if opts.Record {
+			res.History = append(res.History, rel)
+		}
+		res.Residual = rel
+		if rel == 0 || rel < opts.Tol { //irfusion:exact an exactly zero residual is solved; the tolerance handles everything else
+			res.Converged = true
+			return res, nil
+		}
+		if rel >= prev*mpStagnationFactor {
+			return res, fmt.Errorf("%w: round %d reduced the residual only %.3g → %.3g",
+				ErrMPStagnation, outer+1, prev, rel)
+		}
+	}
+	return res, fmt.Errorf("%w: residual %.3g after %d rounds (tol %.3g)",
+		ErrMPStagnation, rel, mpMaxOuter, opts.Tol)
+}

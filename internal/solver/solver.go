@@ -102,17 +102,40 @@ type Options struct {
 	// count, timing, and residual history under this label. Empty
 	// defaults to "pcg".
 	Label string
+	// Format selects the SpMV storage format the solve multiplies by:
+	// sparse.FormatAuto lets sparse.SelectFormat pick per matrix from
+	// its row-length variance, sparse.FormatSELL forces SELL-C-σ, and
+	// sparse.FormatCSR (or empty, the zero value) forces CSR. The
+	// formats produce bitwise-identical products, so this is purely a
+	// performance knob; the resolved format is reported in the solve
+	// record.
+	Format string
 }
 
 // DefaultOptions returns a converged-solve configuration.
 func DefaultOptions() Options {
-	return Options{Tol: 1e-10, MaxIter: 1000, Flexible: true, Record: true}
+	return Options{Tol: 1e-10, MaxIter: 1000, Flexible: true, Record: true, Format: sparse.FormatAuto}
 }
 
 // RoughOptions returns the k-iteration rough-solve configuration used
 // by the fusion pipeline.
 func RoughOptions(iters int) Options {
-	return Options{Tol: 0, MaxIter: iters, Flexible: true, Record: true}
+	return Options{Tol: 0, MaxIter: iters, Flexible: true, Record: true, Format: sparse.FormatAuto}
+}
+
+// resolveFormat maps Options.Format to the operator the solve
+// multiplies by. The conversion (if any) is cached on the matrix, so
+// repeated solves against one system resolve to the same operator
+// without rebuilding it.
+func resolveFormat(a *sparse.CSR, format string) sparse.Operator {
+	switch format {
+	case sparse.FormatSELL:
+		return a.SELL()
+	case sparse.FormatAuto:
+		return a.Operator()
+	default:
+		return a
+	}
 }
 
 // Result reports the outcome of a solve.
@@ -166,6 +189,7 @@ func PCG(a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (Result,
 // ctx via obs.WithRecorder isolates this solve's records from
 // concurrent solves; without one the process-global recorder is used.
 func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner, opts Options) (res Result, err error) {
+	op := resolveFormat(a, opts.Format)
 	if rec := obs.ActiveOr(ctx); rec != nil {
 		label := opts.Label
 		if label == "" {
@@ -180,6 +204,8 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 				Converged:  res.Converged,
 				Seconds:    time.Since(start).Seconds(),
 				History:    res.History,
+				Format:     op.Format(),
+				Precision:  obs.PrecisionFull,
 			})
 		}()
 	}
@@ -211,7 +237,7 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 	}
 
 	pool := parallel.Default()
-	a.MulVec(r, x)
+	op.MulVec(r, x)
 	pool.For(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			r[i] = b[i] - r[i]
@@ -271,7 +297,7 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 				}
 			}
 		}
-		a.MulVec(ap, p)
+		op.MulVec(ap, p)
 		pap := sparse.Dot(p, ap)
 		if math.IsNaN(pap) || math.IsInf(pap, 0) {
 			return res, ErrBreakdown

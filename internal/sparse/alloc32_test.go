@@ -1,0 +1,72 @@
+package sparse
+
+// Zero-allocation guards for the kernels this PR adds: the SELL-C-σ
+// SpMV, the float32 CSR SpMV and Gauss-Seidel sweeps, and the
+// precision-conversion passes. Same regime as alloc_test.go: serial
+// pool pinned, one warm-up call, then AllocsPerRun must be zero.
+
+import "testing"
+
+func TestZeroAllocSELLMulVec(t *testing.T) {
+	pinSerialPool(t)
+	a := laplacian2D(24, 24)
+	s := NewSELLCS(a, SellC, 0)
+	x := make([]float64, a.Cols())
+	y := make([]float64, a.Rows())
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	requireZeroAllocs(t, "SELLCS.MulVec", func() { s.MulVec(y, x) })
+	requireZeroAllocs(t, "SELLCS.MulVecAdd", func() { s.MulVecAdd(y, x) })
+}
+
+func TestZeroAllocSELLGenericWidth(t *testing.T) {
+	pinSerialPool(t)
+	a := laplacian2D(17, 13) // ragged: 221 rows, no width divides it
+	s := NewSELLCS(a, 4, 0)
+	x := make([]float64, a.Cols())
+	y := make([]float64, a.Rows())
+	for i := range x {
+		x[i] = float64(i%5) + 1
+	}
+	requireZeroAllocs(t, "SELLCS.MulVec(C=4)", func() { s.MulVec(y, x) })
+}
+
+func TestZeroAllocCSR32MulVec(t *testing.T) {
+	pinSerialPool(t)
+	a := laplacian2D(24, 24)
+	m := NewCSR32(a)
+	x := make([]float32, a.Cols())
+	y := make([]float32, a.Rows())
+	for i := range x {
+		x[i] = float32(i%7) - 3
+	}
+	requireZeroAllocs(t, "CSR32.MulVec", func() { m.MulVec(y, x) })
+}
+
+func TestZeroAllocGaussSeidel32(t *testing.T) {
+	pinSerialPool(t)
+	a := laplacian2D(16, 16)
+	m := NewCSR32(a)
+	n := a.Rows()
+	x := make([]float32, n)
+	b := make([]float32, n)
+	for i := range b {
+		b[i] = 1
+	}
+	requireZeroAllocs(t, "GaussSeidelForward32", func() { GaussSeidelForward32(m, x, b) })
+	requireZeroAllocs(t, "GaussSeidelBackward32", func() { GaussSeidelBackward32(m, x, b) })
+}
+
+func TestZeroAllocPrecisionConversion(t *testing.T) {
+	pinSerialPool(t)
+	n := 4096
+	f64 := make([]float64, n)
+	f32 := make([]float32, n)
+	for i := range f64 {
+		f64[i] = float64(i%13) * 0.25
+	}
+	requireZeroAllocs(t, "Downconvert32", func() { Downconvert32(f32, f64) })
+	requireZeroAllocs(t, "Upconvert64", func() { Upconvert64(f64, f32) })
+	requireZeroAllocs(t, "Zero32", func() { Zero32(f32) })
+}

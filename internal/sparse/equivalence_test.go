@@ -1,0 +1,195 @@
+// Property-based equivalence suite for the SELL-C-σ format: over
+// randomized generated power-grid systems, the SELL kernels must match
+// CSR bitwise in float64 (MulVec and MulVecAdd, every slice width,
+// every worker count, ragged tails included), and the float32 CSR32
+// kernel must be deterministic across worker counts and stay within a
+// stated error bound of the float64 truth. This is the harness that
+// pins the "formats are a pure performance knob" contract the solvers
+// rely on.
+package sparse_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"irfusion/internal/circuit"
+	"irfusion/internal/parallel"
+	"irfusion/internal/pgen"
+	"irfusion/internal/sparse"
+)
+
+// propertyCase pins one randomized design of the sweep. Sizes are
+// chosen so reduced dimensions are NOT multiples of the slice widths
+// under test — the ragged final slice and ragged lanes are exactly
+// where padding-handling bugs live.
+type propertyCase struct {
+	name  string
+	class pgen.Class
+	size  int
+	seed  int64
+}
+
+var propertyCases = []propertyCase{
+	{"real-24-s7", pgen.Real, 24, 7},
+	{"real-31-s11", pgen.Real, 31, 11},
+	{"fake-17-s3", pgen.Fake, 17, 3},
+	{"fake-29-s5", pgen.Fake, 29, 5},
+	{"real-40-s1", pgen.Real, 40, 1},
+}
+
+// propertySystem generates and assembles one case's conductance matrix.
+func propertySystem(t *testing.T, pc propertyCase) *sparse.CSR {
+	t.Helper()
+	d, err := pgen.Generate(pgen.DefaultConfig(pc.name, pc.class, pc.size, pc.size, pc.seed))
+	if err != nil {
+		t.Fatalf("pgen: %v", err)
+	}
+	nw, err := circuit.FromNetlist(d.Netlist)
+	if err != nil {
+		t.Fatalf("circuit: %v", err)
+	}
+	sys, err := nw.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return sys.G
+}
+
+// randSigned fills a vector with signed random values (including a
+// sprinkling of negative zeros, which a padding-reading kernel would
+// corrupt to +0).
+func randSigned(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+		if rng.Intn(16) == 0 {
+			v[i] = math.Copysign(0, -1)
+		}
+	}
+	return v
+}
+
+// TestSELLEquivalenceProperty is the float64 half of the suite: for
+// every randomized design, slice width, and worker count, SELL MulVec
+// and MulVecAdd must reproduce the CSR results bit for bit.
+func TestSELLEquivalenceProperty(t *testing.T) {
+	raggedSlices, raggedLanes := false, false
+	for _, pc := range propertyCases {
+		g := propertySystem(t, pc)
+		n := g.Rows()
+		rng := rand.New(rand.NewSource(pc.seed * 7919))
+		x := randSigned(rng, n)
+		y0 := randSigned(rng, n)
+
+		want := make([]float64, n)
+		g.MulVec(want, x)
+		wantAdd := append([]float64(nil), y0...)
+		g.MulVecAdd(wantAdd, x)
+
+		for _, c := range []int{4, 8, 32} {
+			s := sparse.NewSELLCS(g, c, 0)
+			if n%c != 0 {
+				raggedSlices = true
+			}
+			if s.PaddingRatio() > 1 {
+				raggedLanes = true
+			}
+			for _, workers := range []int{1, 3, 8} {
+				prev := parallel.SetDefault(parallel.New(workers).SetMinWork(1))
+				got := make([]float64, n)
+				s.MulVec(got, x)
+				gotAdd := append([]float64(nil), y0...)
+				s.MulVecAdd(gotAdd, x)
+				parallel.SetDefault(prev)
+
+				for i := 0; i < n; i++ {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("%s C=%d workers=%d: MulVec row %d = %x, CSR %x",
+							pc.name, c, workers, i, got[i], want[i])
+					}
+					if math.Float64bits(gotAdd[i]) != math.Float64bits(wantAdd[i]) {
+						t.Fatalf("%s C=%d workers=%d: MulVecAdd row %d = %x, CSR %x",
+							pc.name, c, workers, i, gotAdd[i], wantAdd[i])
+					}
+				}
+			}
+		}
+	}
+	// The sweep is only a ragged-tail test if it actually produced
+	// ragged geometry; a future case-list edit must not silently lose
+	// that coverage.
+	if !raggedSlices {
+		t.Error("no case exercised a ragged final slice (rows % C != 0)")
+	}
+	if !raggedLanes {
+		t.Error("no case exercised ragged lanes (padding ratio > 1)")
+	}
+}
+
+// float32 error bound of one SpMV row: sequential accumulation of k
+// terms carries at most k roundings, each bounded by eps32 times the
+// running magnitude, so |computed − exact| ≤ k·eps32·Σ|aᵢⱼ·xⱼ|. The
+// factor 2 covers the final rounding of the float64 reference itself.
+func rowBound32(g *sparse.CSR, x32 []float32, row int) float64 {
+	const eps32 = 1.1920929e-7 // 2^-23
+	var absSum float64
+	k := 0
+	for p := g.RowPtr[row]; p < g.RowPtr[row+1]; p++ {
+		absSum += math.Abs(g.Val[p] * float64(x32[g.ColInd[p]]))
+		k++
+	}
+	return 2 * float64(k) * eps32 * absSum
+}
+
+// TestCSR32EquivalenceProperty is the float32 half: CSR32.MulVec must
+// be bitwise deterministic across worker counts (per-row sums are
+// sequential, so partitioning cannot move a single bit), and each row
+// must sit within the stated rounding bound of the float64 product
+// evaluated at the same (rounded) input.
+func TestCSR32EquivalenceProperty(t *testing.T) {
+	for _, pc := range propertyCases {
+		g := propertySystem(t, pc)
+		n := g.Rows()
+		m32 := sparse.NewCSR32(g)
+		rng := rand.New(rand.NewSource(pc.seed * 104729))
+
+		x32 := make([]float32, n)
+		for i := range x32 {
+			x32[i] = float32(rng.NormFloat64())
+		}
+		// Float64 reference at the SAME float32 input, so the bound
+		// measures kernel rounding, not input rounding.
+		x64 := make([]float64, n)
+		for i := range x64 {
+			x64[i] = float64(x32[i])
+		}
+		ref := make([]float64, n)
+		g.MulVec(ref, x64)
+
+		var serial []float32
+		for _, workers := range []int{1, 3, 8} {
+			prev := parallel.SetDefault(parallel.New(workers).SetMinWork(1))
+			y := make([]float32, n)
+			m32.MulVec(y, x32)
+			parallel.SetDefault(prev)
+
+			if serial == nil {
+				serial = y
+				for i := 0; i < n; i++ {
+					if d, b := math.Abs(float64(y[i])-ref[i]), rowBound32(g, x32, i); d > b {
+						t.Fatalf("%s: float32 row %d off by %g, bound %g (y32=%g, y64=%g)",
+							pc.name, i, d, b, y[i], ref[i])
+					}
+				}
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if math.Float32bits(y[i]) != math.Float32bits(serial[i]) {
+					t.Fatalf("%s workers=%d: float32 row %d = %x, serial %x",
+						pc.name, workers, i, y[i], serial[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package sparse
+
+// Float32 kernels of the mixed-precision path: a float32 view of a CSR
+// matrix plus the SpMV, Gauss-Seidel, and conversion primitives the
+// float32 AMG V-cycle (amg.Hierarchy32) is built from. The float64
+// iterative-refinement outer loop around that V-cycle lives in
+// internal/solver; nothing here is used by the full-precision solvers.
+
+import "irfusion/internal/parallel"
+
+// CSR32 is a float32 view of a CSR matrix. RowPtr and ColInd are
+// SHARED with the source matrix (the sparsity structure is immutable
+// once assembled, see CSR); only the values are copied, rounded to
+// float32. The parallel SpMV reuses the source matrix's cached
+// nnz-balanced row partition, so a CSR32 adds no partition state of
+// its own.
+type CSR32 struct {
+	RowsN, ColsN int
+	RowPtr       []int
+	ColInd       []int
+	Val          []float32
+
+	src *CSR
+}
+
+// NewCSR32 builds the float32 view of a.
+func NewCSR32(a *CSR) *CSR32 {
+	v := make([]float32, len(a.Val))
+	for i, x := range a.Val {
+		v[i] = float32(x)
+	}
+	return &CSR32{RowsN: a.RowsN, ColsN: a.ColsN, RowPtr: a.RowPtr, ColInd: a.ColInd, Val: v, src: a}
+}
+
+// Rows returns the number of rows.
+//
+//irfusion:hotpath
+func (m *CSR32) Rows() int { return m.RowsN }
+
+// Cols returns the number of columns.
+//
+//irfusion:hotpath
+func (m *CSR32) Cols() int { return m.ColsN }
+
+// NNZ returns the number of stored entries.
+//
+//irfusion:hotpath
+func (m *CSR32) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = A·x in float32 arithmetic. The dimension and
+// aliasing contract of CSR.MulVec applies.
+//
+//irfusion:hotpath
+func (m *CSR32) MulVec(y, x []float32) {
+	if len(x) != m.ColsN || len(y) != m.RowsN {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	checkNoAlias32("MulVec", y, x)
+	pool := parallel.Default()
+	if pool.SerialFor(m.NNZ()) {
+		cDoSerial.Inc()
+		m.spmvRange(y, x, 0, m.RowsN)
+		return
+	}
+	bounds := m.src.partition(pool.Workers() * 4)
+	pool.Do(len(bounds)-1, func(part int) {
+		m.spmvRange(y, x, bounds[part], bounds[part+1])
+	})
+}
+
+// spmvRange is the serial float32 SpMV leaf over rows [lo, hi).
+//
+//irfusion:hotpath
+func (m *CSR32) spmvRange(y, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sum := float32(0)
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			sum += m.Val[p] * x[m.ColInd[p]]
+		}
+		y[i] = sum
+	}
+}
+
+// checkNoAlias32 is checkNoAlias for float32 vectors.
+//
+//irfusion:hotpath
+func checkNoAlias32(op string, y, x []float32) {
+	if len(y) > 0 && len(x) > 0 && &y[0] == &x[0] {
+		panic("sparse: " + op + ": y and x must not alias")
+	}
+}
+
+// GaussSeidelForward32 performs one forward Gauss-Seidel sweep in
+// float32 arithmetic — the smoother of the float32 V-cycle.
+//
+//irfusion:hotpath
+func GaussSeidelForward32(a *CSR32, x, b []float32) {
+	for i := 0; i < a.RowsN; i++ {
+		sum := b[i]
+		diag := float32(0)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColInd[p]
+			if j == i {
+				diag = a.Val[p]
+			} else {
+				sum -= a.Val[p] * x[j]
+			}
+		}
+		if diag != 0 { //irfusion:exact an absent diagonal reads as exactly zero and the row is skipped; a tiny pivot must still divide
+			x[i] = sum / diag
+		}
+	}
+}
+
+// GaussSeidelBackward32 performs one backward Gauss-Seidel sweep in
+// float32 arithmetic.
+//
+//irfusion:hotpath
+func GaussSeidelBackward32(a *CSR32, x, b []float32) {
+	for i := a.RowsN - 1; i >= 0; i-- {
+		sum := b[i]
+		diag := float32(0)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColInd[p]
+			if j == i {
+				diag = a.Val[p]
+			} else {
+				sum -= a.Val[p] * x[j]
+			}
+		}
+		if diag != 0 { //irfusion:exact an absent diagonal reads as exactly zero and the row is skipped; a tiny pivot must still divide
+			x[i] = sum / diag
+		}
+	}
+}
+
+// Zero32 sets every element of v to zero.
+//
+//irfusion:hotpath
+func Zero32(v []float32) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Downconvert32 rounds src into dst (dst[i] = float32(src[i])) — the
+// precision boundary crossing into the float32 V-cycle.
+//
+//irfusion:hotpath
+func Downconvert32(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic("sparse: Downconvert32 length mismatch")
+	}
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	pool := parallel.Default()
+	if pool.SerialFor(n) {
+		cForSerial.Inc()
+		downconvertRange(dst, src, 0, n)
+		return
+	}
+	pool.For(n, func(lo, hi int) {
+		downconvertRange(dst, src, lo, hi)
+	})
+}
+
+// downconvertRange is the serial conversion leaf over [lo, hi).
+//
+//irfusion:hotpath
+func downconvertRange(dst []float32, src []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = float32(src[i])
+	}
+}
+
+// Upconvert64 widens src into dst (dst[i] = float64(src[i])) — the
+// precision boundary crossing back out of the float32 V-cycle.
+//
+//irfusion:hotpath
+func Upconvert64(dst []float64, src []float32) {
+	if len(dst) != len(src) {
+		panic("sparse: Upconvert64 length mismatch")
+	}
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	pool := parallel.Default()
+	if pool.SerialFor(n) {
+		cForSerial.Inc()
+		upconvertRange(dst, src, 0, n)
+		return
+	}
+	pool.For(n, func(lo, hi int) {
+		upconvertRange(dst, src, lo, hi)
+	})
+}
+
+// upconvertRange is the serial conversion leaf over [lo, hi).
+//
+//irfusion:hotpath
+func upconvertRange(dst []float64, src []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = float64(src[i])
+	}
+}

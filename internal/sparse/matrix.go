@@ -142,7 +142,18 @@ type CSR struct {
 	// count requested, which only changes when the worker pool is
 	// swapped.
 	part atomic.Pointer[csrPartition]
+
+	// sell caches the SELL-C-σ form of this matrix (CSR.SELL) and op
+	// the auto-selected Operator (CSR.Operator). Both depend only on
+	// the immutable sparsity structure plus Val, so one conversion per
+	// matrix serves every subsequent solve. Scale invalidates them.
+	sell atomic.Pointer[SELLCS]
+	op   atomic.Pointer[operatorBox]
 }
+
+// operatorBox wraps an Operator so the auto-selection cache can live
+// in an atomic.Pointer.
+type operatorBox struct{ op Operator }
 
 // csrPartition is one cached SpMV row partition.
 type csrPartition struct {
@@ -164,6 +175,44 @@ func (m *CSR) Cols() int { return m.ColsN }
 //
 //irfusion:hotpath
 func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Format identifies the storage format in solve records.
+//
+//irfusion:hotpath
+func (m *CSR) Format() string { return FormatCSR }
+
+// SELL returns the SELL-C-σ form of the matrix (slice height SellC,
+// default σ), converting on first use and caching the result in the
+// matrix — so repeated solves against the same system pay for the
+// conversion once.
+//
+//irfusion:hotpath-allow one-time format conversion; steady state is a single atomic load
+func (m *CSR) SELL() *SELLCS {
+	if s := m.sell.Load(); s != nil {
+		return s
+	}
+	s := NewSELLCS(m, SellC, 0)
+	m.sell.Store(s)
+	return s
+}
+
+// Operator returns the SpMV operator SelectFormat picks for this
+// matrix — the SELL-C-σ form when the row-length distribution favors
+// it, the matrix itself otherwise. The choice (and any conversion) is
+// made on first use and cached.
+//
+//irfusion:hotpath-allow one-time format selection; steady state is a single atomic load
+func (m *CSR) Operator() Operator {
+	if b := m.op.Load(); b != nil {
+		return b.op
+	}
+	var op Operator = m
+	if SelectFormat(m) == FormatSELL {
+		op = m.SELL()
+	}
+	m.op.Store(&operatorBox{op: op})
+	return op
+}
 
 // At returns A[i,j] (zero when the entry is not stored). Binary search
 // within the row; intended for tests and diagnostics, not inner loops.
@@ -386,6 +435,10 @@ func (m *CSR) Scale(s float64) {
 	for i := range m.Val {
 		m.Val[i] *= s
 	}
+	// The cached SELL form and operator copy Val; drop them so the
+	// next Operator/SELL call rebuilds from the scaled values.
+	m.sell.Store(nil)
+	m.op.Store(nil)
 }
 
 // Clone returns a deep copy.

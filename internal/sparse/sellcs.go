@@ -1,0 +1,513 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"irfusion/internal/parallel"
+)
+
+// Matrix format names, as they appear in solver options, run-manifest
+// solve records, and serve requests. FormatAuto is resolved to one of
+// the concrete formats by SelectFormat before any kernel runs.
+const (
+	FormatCSR  = "csr"
+	FormatSELL = "sell"
+	FormatAuto = "auto"
+)
+
+// Operator is the matrix-vector contract shared by the sparse formats
+// (CSR, SELL-C-σ). Solvers that only multiply — PCG, residual checks —
+// accept any Operator, which is how per-matrix format selection stays
+// invisible to the numerics: both formats produce bitwise-identical
+// products (see SELLCS).
+type Operator interface {
+	MulVec(y, x []float64)
+	MulVecAdd(y, x []float64)
+	Rows() int
+	Cols() int
+	NNZ() int
+	Format() string
+}
+
+// Tuning constants of the SELL-C-σ conversion and the variance-driven
+// format selection. SellC is the default slice height: 8 rows is wide
+// enough to break the per-row floating-add dependency chain that
+// limits CSR on short-row grids, while keeping the slice state in
+// registers. Selection sends a matrix to SELL only when its row-length
+// distribution says the padding will stay cheap.
+const (
+	// SellC is the slice height used by CSR.SELL and the automatic
+	// format selection.
+	SellC = 8
+	// sellMaxC bounds the slice height accepted by NewSELLCS; the
+	// generic kernel keeps its per-slice accumulators in a fixed
+	// stack array of this size.
+	sellMaxC = 64
+	// sellDefaultSigmaSlices sets the default sorting window σ as a
+	// multiple of C: rows are sorted by descending length only within
+	// windows of σ rows, which keeps the permutation local (cache
+	// friendly gathers on x) while still making slices near-uniform.
+	sellDefaultSigmaSlices = 8
+	// sellMinRows is the matrix size below which SelectFormat always
+	// answers CSR: tiny systems live in L1 either way and the
+	// conversion would never pay for itself.
+	sellMinRows = 64
+	// sellMaxCV is the row-length coefficient-of-variation ceiling
+	// for automatic SELL selection: above it the rows are too ragged
+	// and the slices would be dominated by padding.
+	sellMaxCV = 0.5
+	// sellMaxPadding is the ceiling on stored/real entries the
+	// conversion may introduce before selection falls back to CSR.
+	sellMaxPadding = 1.25
+)
+
+// SELLCS is a SELL-C-σ (sliced ELLPACK) matrix: rows are sorted by
+// descending length within windows of σ rows, grouped into slices of C
+// consecutive sorted rows, and each slice is stored column-major,
+// padded to the width of its longest row. The layout streams values
+// and (32-bit) column indices contiguously while giving the kernel C
+// independent accumulator chains, which is what beats CSR's one
+// serial floating-add chain per row on short-row power-grid matrices.
+//
+// Products are bitwise identical to CSR's: every row is accumulated
+// left to right in ascending column order into a single accumulator —
+// the slice kernel interleaves the C row chains but never reorders
+// terms within a row — and padding entries are skipped, never added,
+// so signed zeros and non-finite x values behave exactly as in CSR.
+//
+// Like CSR, the structure is immutable once built; the parallel SpMV
+// caches its nnz-balanced slice partition in the matrix.
+type SELLCS struct {
+	RowsN, ColsN int
+	// C is the slice height (rows per slice); Sigma the sorting
+	// window in rows (a multiple of C, so no slice straddles two
+	// windows).
+	C, Sigma int
+	// Perm maps sorted position to original row: sorted position k
+	// stores row Perm[k], and the kernel scatters its sum to
+	// y[Perm[k]]. Within each σ window, Perm orders rows by
+	// descending length, ties by ascending original index.
+	Perm []int
+	// RowLen[k] is the stored length of the row at sorted position k.
+	// Within a slice the lengths are non-increasing, so RowLen of the
+	// slice's first row is the slice width and of its last row the
+	// common unpadded prefix every lane shares.
+	RowLen []int
+	// SlicePtr[s] is the offset of slice s in Val/ColInd; the stride
+	// between consecutive columns of a slice is always C, also in the
+	// final partial slice. SlicePtr doubles as the padded-entry
+	// prefix sum the parallel partition balances over.
+	SlicePtr []int
+	// SliceWidth[s] is the padded width of slice s (its longest row).
+	SliceWidth []int
+	// ColInd holds 32-bit column indices (half the index traffic of
+	// CSR's int); padding positions hold 0 and are never read.
+	ColInd []int32
+	Val    []float64
+
+	nnz int
+
+	// part caches the padded-entry-balanced slice partition of the
+	// parallel SpMV, keyed by part count — same discipline as
+	// CSR.part.
+	part atomic.Pointer[csrPartition]
+}
+
+// NewSELLCS converts a CSR matrix to SELL-C-σ form with slice height c
+// and sorting window sigma (rows; 0 selects the default of
+// sellDefaultSigmaSlices·c, and any value is rounded up to a multiple
+// of c). It panics when c is out of range or the column count
+// overflows the 32-bit index type.
+func NewSELLCS(a *CSR, c, sigma int) *SELLCS {
+	if c < 1 || c > sellMaxC {
+		panic(fmt.Sprintf("sparse: SELL slice height %d out of range [1,%d]", c, sellMaxC))
+	}
+	if a.ColsN > math.MaxInt32 {
+		panic(fmt.Sprintf("sparse: SELL column count %d overflows int32", a.ColsN))
+	}
+	if sigma <= 0 {
+		sigma = sellDefaultSigmaSlices * c
+	}
+	if r := sigma % c; r != 0 {
+		sigma += c - r
+	}
+	n := a.RowsN
+	perm := sellPerm(a, sigma)
+	rowLen := make([]int, n)
+	for k, i := range perm {
+		rowLen[k] = a.RowPtr[i+1] - a.RowPtr[i]
+	}
+	nSlices := (n + c - 1) / c
+	m := &SELLCS{
+		RowsN:      n,
+		ColsN:      a.ColsN,
+		C:          c,
+		Sigma:      sigma,
+		Perm:       perm,
+		RowLen:     rowLen,
+		SlicePtr:   make([]int, nSlices+1),
+		SliceWidth: make([]int, nSlices),
+		nnz:        a.NNZ(),
+	}
+	for s := 0; s < nSlices; s++ {
+		// Rows are sorted by descending length within the slice, so
+		// the first row carries the width.
+		w := 0
+		if s*c < n {
+			w = rowLen[s*c]
+		}
+		m.SliceWidth[s] = w
+		m.SlicePtr[s+1] = m.SlicePtr[s] + w*c
+	}
+	m.Val = make([]float64, m.SlicePtr[nSlices])
+	m.ColInd = make([]int32, m.SlicePtr[nSlices])
+	for k, i := range perm {
+		s, lane := k/c, k%c
+		base := m.SlicePtr[s]
+		lo := a.RowPtr[i]
+		for j := 0; j < rowLen[k]; j++ {
+			off := base + j*c + lane
+			m.Val[off] = a.Val[lo+j]
+			m.ColInd[off] = int32(a.ColInd[lo+j])
+		}
+	}
+	return m
+}
+
+// sellPerm orders rows by descending length within windows of sigma
+// rows (ties broken by ascending original index, so the permutation is
+// deterministic).
+func sellPerm(a *CSR, sigma int) []int {
+	n := a.RowsN
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for lo := 0; lo < n; lo += sigma {
+		hi := lo + sigma
+		if hi > n {
+			hi = n
+		}
+		win := perm[lo:hi]
+		sort.Slice(win, func(x, y int) bool {
+			lx := a.RowPtr[win[x]+1] - a.RowPtr[win[x]]
+			ly := a.RowPtr[win[y]+1] - a.RowPtr[win[y]]
+			if lx != ly {
+				return lx > ly
+			}
+			return win[x] < win[y]
+		})
+	}
+	return perm
+}
+
+// Rows returns the number of rows.
+//
+//irfusion:hotpath
+func (m *SELLCS) Rows() int { return m.RowsN }
+
+// Cols returns the number of columns.
+//
+//irfusion:hotpath
+func (m *SELLCS) Cols() int { return m.ColsN }
+
+// NNZ returns the number of real (unpadded) stored entries.
+//
+//irfusion:hotpath
+func (m *SELLCS) NNZ() int { return m.nnz }
+
+// Format identifies the storage format in solve records.
+//
+//irfusion:hotpath
+func (m *SELLCS) Format() string { return FormatSELL }
+
+// PaddingRatio reports stored entries (including padding) over real
+// entries — the storage and bandwidth overhead of the conversion.
+func (m *SELLCS) PaddingRatio() float64 {
+	if m.nnz == 0 {
+		return 1
+	}
+	return float64(len(m.Val)) / float64(m.nnz)
+}
+
+// MulVec computes y = A·x. The dimension and aliasing contract of
+// CSR.MulVec applies, and the result is bitwise identical to it.
+//
+//irfusion:hotpath
+func (m *SELLCS) MulVec(y, x []float64) {
+	if len(x) != m.ColsN || len(y) != m.RowsN {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	checkNoAlias("MulVec", y, x)
+	m.spmv(y, x, false)
+}
+
+// MulVecAdd computes y += A·x. The dimension and aliasing contract of
+// CSR.MulVecAdd applies, and the result is bitwise identical to it.
+//
+//irfusion:hotpath
+func (m *SELLCS) MulVecAdd(y, x []float64) {
+	if len(x) != m.ColsN || len(y) != m.RowsN {
+		panic("sparse: MulVecAdd dimension mismatch")
+	}
+	checkNoAlias("MulVecAdd", y, x)
+	m.spmv(y, x, true)
+}
+
+// spmv dispatches the SpMV over slices. Slices are partitioned by
+// padded entry count across the worker pool; each y[Perm[k]] is
+// written by exactly one worker, so the scatter is race-free and the
+// result is bitwise identical at every worker count.
+//
+//irfusion:hotpath
+func (m *SELLCS) spmv(y, x []float64, add bool) {
+	pool := parallel.Default()
+	if pool.SerialFor(m.nnz) {
+		cDoSerial.Inc()
+		m.spmvRange(y, x, 0, len(m.SliceWidth), add)
+		return
+	}
+	bounds := m.partition(pool.Workers() * 4)
+	pool.Do(len(bounds)-1, func(part int) {
+		m.spmvRange(y, x, bounds[part], bounds[part+1], add)
+	})
+}
+
+// spmvRange is the SpMV leaf over slices [lo, hi), picking the
+// specialized kernel for the common slice heights.
+//
+//irfusion:hotpath
+func (m *SELLCS) spmvRange(y, x []float64, lo, hi int, add bool) {
+	if m.C == 8 {
+		m.spmv8Range(y, x, lo, hi, add)
+		return
+	}
+	for s := lo; s < hi; s++ {
+		m.spmvGenericSlice(y, x, s, add)
+	}
+}
+
+// spmv8Range is the C=8 slice kernel: eight scalar accumulators, one
+// per lane, walk the slice column-major over the common prefix every
+// lane shares, then each ragged lane finishes its own tail in order.
+// Each lane's terms are added left to right exactly as CSR would, so
+// the sums are bitwise identical; the interleaving only removes the
+// dependency between consecutive adds of different rows.
+//
+//irfusion:hotpath
+func (m *SELLCS) spmv8Range(y, x []float64, lo, hi int, add bool) {
+	val, col := m.Val, m.ColInd
+	for s := lo; s < hi; s++ {
+		r0 := s * 8
+		if m.RowsN-r0 < 8 {
+			m.spmvGenericSlice(y, x, s, add)
+			continue
+		}
+		base := m.SlicePtr[s]
+		rl := m.RowLen[r0 : r0+8 : r0+8]
+		wmin := rl[7]
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		off := base
+		for j := 0; j < wmin; j++ {
+			v := val[off : off+8 : off+8]
+			c := col[off : off+8 : off+8]
+			s0 += v[0] * x[c[0]]
+			s1 += v[1] * x[c[1]]
+			s2 += v[2] * x[c[2]]
+			s3 += v[3] * x[c[3]]
+			s4 += v[4] * x[c[4]]
+			s5 += v[5] * x[c[5]]
+			s6 += v[6] * x[c[6]]
+			s7 += v[7] * x[c[7]]
+			off += 8
+		}
+		if rl[0] > wmin {
+			s0 = laneTail(val, col, x, s0, base, wmin, rl[0], 8, 0)
+			s1 = laneTail(val, col, x, s1, base, wmin, rl[1], 8, 1)
+			s2 = laneTail(val, col, x, s2, base, wmin, rl[2], 8, 2)
+			s3 = laneTail(val, col, x, s3, base, wmin, rl[3], 8, 3)
+			s4 = laneTail(val, col, x, s4, base, wmin, rl[4], 8, 4)
+			s5 = laneTail(val, col, x, s5, base, wmin, rl[5], 8, 5)
+			s6 = laneTail(val, col, x, s6, base, wmin, rl[6], 8, 6)
+			s7 = laneTail(val, col, x, s7, base, wmin, rl[7], 8, 7)
+		}
+		p := m.Perm[r0 : r0+8 : r0+8]
+		if add {
+			y[p[0]] += s0
+			y[p[1]] += s1
+			y[p[2]] += s2
+			y[p[3]] += s3
+			y[p[4]] += s4
+			y[p[5]] += s5
+			y[p[6]] += s6
+			y[p[7]] += s7
+		} else {
+			y[p[0]] = s0
+			y[p[1]] = s1
+			y[p[2]] = s2
+			y[p[3]] = s3
+			y[p[4]] = s4
+			y[p[5]] = s5
+			y[p[6]] = s6
+			y[p[7]] = s7
+		}
+	}
+}
+
+// laneTail accumulates lane's terms of columns [from, to) into sum,
+// left to right — the ragged remainder a lane has past the slice's
+// common prefix.
+//
+//irfusion:hotpath
+func laneTail(val []float64, col []int32, x []float64, sum float64, base, from, to, c, lane int) float64 {
+	for j := from; j < to; j++ {
+		off := base + j*c + lane
+		sum += val[off] * x[col[off]]
+	}
+	return sum
+}
+
+// spmvGenericSlice handles one slice at any height (and the final
+// partial slice of the specialized kernels) with a stack accumulator
+// array. Same term order as CSR, so same bits.
+//
+//irfusion:hotpath
+func (m *SELLCS) spmvGenericSlice(y, x []float64, s int, add bool) {
+	var acc [sellMaxC]float64
+	c := m.C
+	r0 := s * c
+	rows := m.RowsN - r0
+	if rows > c {
+		rows = c
+	}
+	if rows <= 0 {
+		return
+	}
+	base := m.SlicePtr[s]
+	wmin := m.RowLen[r0+rows-1]
+	for rr := 0; rr < rows; rr++ {
+		acc[rr] = 0
+	}
+	off := base
+	for j := 0; j < wmin; j++ {
+		for rr := 0; rr < rows; rr++ {
+			acc[rr] += m.Val[off+rr] * x[m.ColInd[off+rr]]
+		}
+		off += c
+	}
+	for rr := 0; rr < rows; rr++ {
+		sum := laneTail(m.Val, m.ColInd, x, acc[rr], base, wmin, m.RowLen[r0+rr], c, rr)
+		i := m.Perm[r0+rr]
+		if add {
+			y[i] += sum
+		} else {
+			y[i] = sum
+		}
+	}
+}
+
+// partition returns the padded-entry-balanced slice partition for the
+// given part count, cached like CSR.partition.
+//
+//irfusion:hotpath-allow partition construction runs once per pool size; steady state is a single atomic load
+func (m *SELLCS) partition(parts int) []int {
+	if p := m.part.Load(); p != nil && p.parts == parts {
+		return p.bounds
+	}
+	bounds := m.slicePartition(parts)
+	m.part.Store(&csrPartition{parts: parts, bounds: bounds})
+	return bounds
+}
+
+// slicePartition splits the slice range into at most parts contiguous
+// pieces of roughly equal padded entry count, by binary search over
+// the SlicePtr prefix sums.
+func (m *SELLCS) slicePartition(parts int) []int {
+	n := len(m.SliceWidth)
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	total := m.SlicePtr[n]
+	b := make([]int, 1, parts+1)
+	for t := 1; t < parts; t++ {
+		target := int(int64(total) * int64(t) / int64(parts))
+		r := sort.SearchInts(m.SlicePtr, target)
+		if r >= n {
+			break
+		}
+		if r > b[len(b)-1] {
+			b = append(b, r)
+		}
+	}
+	return append(b, n)
+}
+
+// RowLengthStats measures the row-length distribution of a CSR matrix:
+// the mean stored entries per row and the coefficient of variation
+// (population standard deviation over mean; 0 for a perfectly uniform
+// matrix, 0 when the matrix is empty). This is the signal the
+// per-matrix format selection keys on.
+func RowLengthStats(a *CSR) (mean, cv float64) {
+	n := a.RowsN
+	if n == 0 || a.NNZ() == 0 {
+		return 0, 0
+	}
+	mean = float64(a.NNZ()) / float64(n)
+	var ss float64
+	for i := 0; i < n; i++ {
+		d := float64(a.RowPtr[i+1]-a.RowPtr[i]) - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/float64(n)) / mean
+}
+
+// SelectFormat picks the SpMV storage format for a matrix from its
+// measured row-length distribution: SELL-C-σ when the rows are regular
+// enough that slicing pays (low coefficient of variation AND the exact
+// padding the conversion would introduce stays under sellMaxPadding),
+// CSR otherwise. Small matrices always stay CSR.
+func SelectFormat(a *CSR) string {
+	if a.RowsN < sellMinRows || a.NNZ() == 0 {
+		return FormatCSR
+	}
+	if _, cv := RowLengthStats(a); cv > sellMaxCV {
+		return FormatCSR
+	}
+	if sellPaddingRatio(a, SellC, sellDefaultSigmaSlices*SellC) > sellMaxPadding {
+		return FormatCSR
+	}
+	return FormatSELL
+}
+
+// sellPaddingRatio computes the exact stored/real entry ratio a
+// SELL-C-σ conversion would produce, from row lengths alone (no value
+// movement): sort lengths descending within each σ window, then each
+// slice of c rows stores c times its maximum length.
+func sellPaddingRatio(a *CSR, c, sigma int) float64 {
+	n := a.RowsN
+	lens := make([]int, n)
+	for i := 0; i < n; i++ {
+		lens[i] = a.RowPtr[i+1] - a.RowPtr[i]
+	}
+	for lo := 0; lo < n; lo += sigma {
+		hi := lo + sigma
+		if hi > n {
+			hi = n
+		}
+		win := lens[lo:hi]
+		sort.Sort(sort.Reverse(sort.IntSlice(win)))
+	}
+	stored := 0
+	for s := 0; s < n; s += c {
+		// Matches construction: every slice, including a final partial
+		// one, is stored at stride c.
+		stored += lens[s] * c
+	}
+	return float64(stored) / float64(a.NNZ())
+}

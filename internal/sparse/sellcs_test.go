@@ -1,0 +1,141 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"irfusion/internal/parallel"
+)
+
+// mulVecRef computes the CSR product serially — the reference bit
+// pattern every SELL configuration must reproduce exactly.
+func mulVecRef(a *CSR, x []float64) []float64 {
+	y := make([]float64, a.RowsN)
+	a.spmvRange(y, x, 0, a.RowsN, false)
+	return y
+}
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestSELLMatchesCSRBitwise checks the core layout contract on grid
+// and random matrices: MulVec and MulVecAdd agree with CSR bit for
+// bit for every supported slice height, including ragged tails and a
+// final partial slice.
+func TestSELLMatchesCSRBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mats := map[string]*CSR{
+		"laplacian-17x13": laplacian2D(17, 13), // 221 rows: partial final slice at every C
+		"laplacian-32x32": laplacian2D(32, 32),
+		"random-300":      randomSPD(300, rng),
+	}
+	for name, a := range mats {
+		x := randVec(a.ColsN, rng)
+		want := mulVecRef(a, x)
+		for _, c := range []int{1, 4, 8, 32} {
+			s := NewSELLCS(a, c, 0)
+			y := make([]float64, a.RowsN)
+			s.MulVec(y, x)
+			for i := range y {
+				if math.Float64bits(y[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s C=%d: MulVec row %d = %x, CSR %x", name, c, i, y[i], want[i])
+				}
+			}
+			// MulVecAdd starting from a non-trivial y.
+			y2 := randVec(a.RowsN, rng)
+			wantAdd := append([]float64(nil), y2...)
+			a.spmvRange(wantAdd, x, 0, a.RowsN, true)
+			s.MulVecAdd(y2, x)
+			for i := range y2 {
+				if math.Float64bits(y2[i]) != math.Float64bits(wantAdd[i]) {
+					t.Fatalf("%s C=%d: MulVecAdd row %d = %x, CSR %x", name, c, i, y2[i], wantAdd[i])
+				}
+			}
+			if got := s.NNZ(); got != a.NNZ() {
+				t.Fatalf("%s C=%d: NNZ %d, want %d", name, c, got, a.NNZ())
+			}
+			if pr := s.PaddingRatio(); pr < 1 {
+				t.Fatalf("%s C=%d: padding ratio %g < 1", name, c, pr)
+			}
+		}
+	}
+}
+
+// TestSELLParallelMatchesSerial pins worker-count invariance: the
+// partitioned parallel scatter must produce the same bits as the
+// serial sweep.
+func TestSELLParallelMatchesSerial(t *testing.T) {
+	a := laplacian2D(40, 41)
+	rng := rand.New(rand.NewSource(3))
+	x := randVec(a.ColsN, rng)
+	want := mulVecRef(a, x)
+	for _, workers := range []int{1, 2, 4, 7} {
+		prev := parallel.SetDefault(parallel.New(workers).SetMinWork(1))
+		s := NewSELLCS(a, 8, 0)
+		y := make([]float64, a.RowsN)
+		s.MulVec(y, x)
+		parallel.SetDefault(prev)
+		for i := range y {
+			if math.Float64bits(y[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: row %d = %x, want %x", workers, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSelectFormat sanity-checks the variance-driven selection: a
+// uniform grid goes SELL, a matrix with one dense row (huge variance)
+// stays CSR, and tiny systems stay CSR.
+func TestSelectFormat(t *testing.T) {
+	if got := SelectFormat(laplacian2D(32, 32)); got != FormatSELL {
+		t.Errorf("uniform laplacian: SelectFormat = %q, want sell", got)
+	}
+	if got := SelectFormat(laplacian2D(4, 4)); got != FormatCSR {
+		t.Errorf("tiny system: SelectFormat = %q, want csr", got)
+	}
+	// One row carrying half the matrix: raggedness must force CSR.
+	n := 256
+	tr := NewTriplet(n, n, 4*n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 4)
+		tr.Add(0, i, 1)
+	}
+	if got := SelectFormat(tr.ToCSR()); got != FormatCSR {
+		t.Errorf("ragged matrix: SelectFormat = %q, want csr", got)
+	}
+	// The cached operator must agree with the selection.
+	a := laplacian2D(32, 32)
+	if op := a.Operator(); op.Format() != FormatSELL {
+		t.Errorf("Operator format = %q, want sell", op.Format())
+	}
+}
+
+// BenchmarkSELLFormats compares the serial SpMV kernels on a uniform
+// 5-point grid — the measurement behind the bench.baseline format
+// ratio gate (the committed gate runs the root-package benchmark).
+func BenchmarkSELLFormats(b *testing.B) {
+	for _, dim := range []int{64, 128, 256} {
+		a := laplacian2D(dim, dim)
+		s := NewSELLCS(a, 8, 0)
+		rng := rand.New(rand.NewSource(1))
+		x := randVec(a.ColsN, rng)
+		y := make([]float64, a.RowsN)
+		b.Run(fmt.Sprintf("csr-%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.MulVec(y, x)
+			}
+		})
+		b.Run(fmt.Sprintf("sell-%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.MulVec(y, x)
+			}
+		})
+	}
+}
