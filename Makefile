@@ -8,7 +8,7 @@ GO ?= go
 # machines and miniature test grids.
 RACE_ENV = IRFUSION_WORKERS=4 IRFUSION_PAR_THRESHOLD=1
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-smoke bench-check bench-rebaseline manifest-smoke fuzz-smoke chaos-smoke cluster-smoke mp-oracle docs-check cover-check
+.PHONY: all fmt fmt-check vet lint build test race bench bench-smoke bench-check bench-rebaseline manifest-smoke fuzz-smoke chaos-smoke cluster-smoke mp-oracle restart-smoke docs-check cover-check
 
 all: fmt-check vet lint build test
 
@@ -89,13 +89,21 @@ CHAOS_MANIFEST ?= /tmp/irfusion-chaos-manifest.json
 # (manifestcheck -cache).
 CACHE_CHAOS_SPEC ?= cache.lookup:stale:times=1;cache.lookup:evict:times=1,after=1;cache.delta:latency:delay=5ms
 CACHE_CHAOS_MANIFEST ?= /tmp/irfusion-cache-chaos-manifest.json
+# The hit-only manifest: one more exact analysis of the same design
+# after the repeats, answered entirely from the artifact cache — zero
+# solves by construction. Before manifestcheck grew -allow-hit such
+# manifests could not be gated at all (the PR 7 gotcha: gate cold runs
+# by hand); now the gate proves the hit happened AND that the manifest
+# is otherwise well-formed.
+CACHE_HIT_MANIFEST ?= /tmp/irfusion-cache-hit-manifest.json
 
 chaos-smoke: ## full test suite + end-to-end analyze under injected mid-ladder and cache-layer failures
 	IRFUSION_FAULTS='$(CHAOS_SPEC)' $(GO) test ./...
 	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -faults '$(CHAOS_SPEC)' -manifest $(CHAOS_MANIFEST)
 	$(GO) run ./cmd/manifestcheck -degraded $(CHAOS_MANIFEST)
-	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -cache -repeat 4 -faults '$(CACHE_CHAOS_SPEC)' -manifest $(CACHE_CHAOS_MANIFEST)
+	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -cache -repeat 4 -faults '$(CACHE_CHAOS_SPEC)' -manifest $(CACHE_CHAOS_MANIFEST) -hit-manifest $(CACHE_HIT_MANIFEST)
 	$(GO) run ./cmd/manifestcheck -cache $(CACHE_CHAOS_MANIFEST)
+	$(GO) run ./cmd/manifestcheck -allow-hit $(CACHE_HIT_MANIFEST)
 
 # Cluster rehearsal: the in-process shard fleet behind the gateway
 # (internal/cluster fleet_test.go) — routing determinism, cache-warm
@@ -124,13 +132,31 @@ mp-oracle: ## golden-oracle + format/precision equivalence suites under -race, t
 	$(GO) run ./cmd/irfusion analyze -size 48 -seed 3 -precision mixed -manifest $(MP_MANIFEST)
 	$(GO) run ./cmd/manifestcheck -mp $(MP_MANIFEST)
 
+# Crash-durability rehearsal: cmd/restartsmoke drives both recovery
+# paths end to end against in-process servers — a mid-solve injected
+# panic that the worker must requeue once and finish from its
+# checkpoint, and a hard Crash() (the on-disk image of kill -9) that
+# the next incarnation must recover by replaying the write-ahead
+# journal. Both resulting manifests must prove a real mid-solve resume
+# (manifestcheck -resume: resume section, outcome "resumed", positive
+# iteration) — a run that silently re-solved from scratch fails the
+# gate.
+REQUEUE_MANIFEST ?= /tmp/irfusion-requeue-manifest.json
+RESTART_MANIFEST ?= /tmp/irfusion-restart-manifest.json
+
+restart-smoke: ## crash/requeue recovery rehearsal gated by manifestcheck -resume
+	$(GO) run ./cmd/restartsmoke -manifest $(REQUEUE_MANIFEST) -restart-manifest $(RESTART_MANIFEST)
+	$(GO) run ./cmd/manifestcheck -resume $(REQUEUE_MANIFEST)
+	$(GO) run ./cmd/manifestcheck -resume $(RESTART_MANIFEST)
+
 docs-check: ## fail when any doc link or file:line anchor no longer resolves
 	$(GO) run ./cmd/docscheck README.md docs
 
 FUZZTIME ?= 30s
 
-fuzz-smoke: ## short fuzz run of the SPICE parser (panics and broken round trips fail the build)
+fuzz-smoke: ## short fuzz runs of the SPICE parser and the journal replay path
 	$(GO) test -fuzz=FuzzParseSPICE -fuzztime=$(FUZZTIME) -run='^$$' ./internal/spice
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) -run='^$$' ./internal/journal
 
 # Total-statement-coverage floor. Measured at 76.4% when recorded
 # (stable across repeat runs); the margin absorbs run-to-run noise

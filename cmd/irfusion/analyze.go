@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -10,6 +11,7 @@ import (
 	"irfusion/internal/cache"
 	"irfusion/internal/core"
 	"irfusion/internal/grid"
+	"irfusion/internal/obs"
 	"irfusion/internal/pgen"
 	"irfusion/internal/spice"
 )
@@ -40,6 +42,7 @@ func cmdAnalyze(args []string) error {
 	useCache := fs.Bool("cache", false, "enable the process artifact cache (sized by IRFUSION_CACHE_BYTES/IRFUSION_CACHE_TTL)")
 	repeat := fs.Int("repeat", 1, "run the analysis N times under one manifest — with -cache, later runs hit or warm-start")
 	perturb := fs.Float64("perturb", 0, "ECO-style resistor perturbation fraction applied before each repeat after the first")
+	hitManifest := fs.String("hit-manifest", "", "with -cache: after the repeats, re-analyze the original design under a fresh recorder and write its manifest here — an exact cache hit, so zero solves; gate it with manifestcheck -allow-hit")
 	faultSpec := addFaultsFlag(fs)
 	of := addObsFlags(fs)
 	fs.Parse(args)
@@ -175,6 +178,33 @@ func cmdAnalyze(args []string) error {
 			return err
 		}
 		log.Printf("wrote %s (%dx%d)", *pgm, m.W, m.H)
+	}
+
+	// A hit-only manifest: the original design one more time, under an
+	// isolated recorder, answered entirely from the artifact cache —
+	// zero solves by design, which is exactly what manifestcheck
+	// -allow-hit exists to gate.
+	if *hitManifest != "" {
+		if !*useCache || analyzer != nil {
+			return fmt.Errorf("-hit-manifest needs -cache and the numerical pipeline")
+		}
+		rec := obs.NewRecorder()
+		ctx := obs.WithRecorder(context.Background(), rec)
+		na := &core.NumericalAnalyzer{
+			Iters: *iters, Resolution: res, Precond: *precond,
+			Precision: *precision, Format: *format,
+		}
+		if _, _, _, err := na.AnalyzeCtx(ctx, d); err != nil {
+			return fmt.Errorf("hit-manifest run: %w", err)
+		}
+		hm := rec.Manifest("analyze-hit", map[string]any{"size": *size, "seed": *seed})
+		if hm.Cache == nil || hm.Cache.Hits == 0 {
+			return fmt.Errorf("hit-manifest run missed the cache (was the first run budgeted?)")
+		}
+		if err := obs.FileSink(*hitManifest).Write(hm); err != nil {
+			return fmt.Errorf("hit manifest: %w", err)
+		}
+		log.Printf("wrote %s (hit-only manifest)", *hitManifest)
 	}
 	return finish()
 }

@@ -40,6 +40,9 @@ func cmdServe(args []string) error {
 	noCache := fs.Bool("no-cache", false, "disable the per-process artifact cache (every request runs cold)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "artifact-cache size bound in bytes (0 = default)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "artifact-cache entry lifetime (0 = default)")
+	journalDir := fs.String("journal-dir", "", "write-ahead job journal directory (enables crash recovery; empty = off)")
+	journalSync := fs.String("journal-sync", "", "journal fsync policy: always (default), interval, or none")
+	ckptEvery := fs.Int("checkpoint-every", 0, "solver checkpoint interval in PCG iterations (0 = default 32, negative = off)")
 	faultSpec := addFaultsFlag(fs)
 	of := addObsFlags(fs)
 	fs.Parse(args)
@@ -48,15 +51,18 @@ func cmdServe(args []string) error {
 	}
 
 	cfg := serve.Config{
-		Name:           *name,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxBodyBytes:   *maxBody,
-		MaxDesignSize:  *maxSize,
-		DefaultTimeout: *timeout,
-		DisableCache:   *noCache,
-		CacheBytes:     *cacheBytes,
-		CacheTTL:       *cacheTTL,
+		Name:            *name,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxBodyBytes:    *maxBody,
+		MaxDesignSize:   *maxSize,
+		DefaultTimeout:  *timeout,
+		DisableCache:    *noCache,
+		CacheBytes:      *cacheBytes,
+		CacheTTL:        *cacheTTL,
+		JournalDir:      *journalDir,
+		JournalSync:     *journalSync,
+		CheckpointEvery: *ckptEvery,
 	}
 	if *modelFile != "" {
 		f, err := os.Open(*modelFile)
@@ -76,7 +82,7 @@ func cmdServe(args []string) error {
 		"addr": *addr, "name": *name, "workers": *workers, "queue": *queue,
 		"max_body": *maxBody, "max_size": *maxSize,
 		"timeout": timeout.String(), "model_file": *modelFile,
-		"cache": !*noCache,
+		"cache": !*noCache, "journal_dir": *journalDir,
 	})
 
 	svc := serve.New(cfg)

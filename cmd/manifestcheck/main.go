@@ -30,6 +30,18 @@
 // "mixed" — the gate of the mp-oracle CI job, proving a
 // -precision mixed run really took the mixed-precision rung rather
 // than silently serving from full precision.
+//
+// With -allow-hit the solve-with-history and parallel-dispatch
+// requirements are waived when the cache section shows at least one
+// hit: a manifest describing a run answered entirely from the
+// response cache legitimately contains zero solves, and before this
+// flag such runs could not be gated at all (the PR 7 chaos-smoke
+// cached repeat had to skip manifestcheck for exactly this reason).
+//
+// With -resume the check requires a resume section whose outcome is
+// "resumed" with a positive starting iteration — the gate of the
+// restart-smoke CI job, proving a recovered job really continued from
+// a checkpoint instead of silently solving cold.
 package main
 
 import (
@@ -52,8 +64,12 @@ func main() {
 		"require the manifest's shard identity to equal this name")
 	wantMP := flag.Bool("mp", false,
 		"require at least one solve record with precision \"mixed\"")
+	allowHit := flag.Bool("allow-hit", false,
+		"waive the solve/dispatch requirements when the cache section shows at least one hit (zero-solve cache-HIT manifests)")
+	wantResume := flag.Bool("resume", false,
+		"require a resume section with outcome \"resumed\" and a positive starting iteration")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-degraded] [-cache] [-mp] [-shard NAME] <manifest.json>")
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-degraded] [-cache] [-mp] [-allow-hit] [-resume] [-shard NAME] <manifest.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,13 +78,27 @@ func main() {
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
-	if err := check(path, *degraded, *wantCache, *wantMP, *wantShard); err != nil {
+	opts := checkOptions{
+		degraded: *degraded, cache: *wantCache, mp: *wantMP,
+		allowHit: *allowHit, resume: *wantResume, shard: *wantShard,
+	}
+	if err := check(path, opts); err != nil {
 		log.Fatalf("manifestcheck: %s: %v", path, err)
 	}
 	log.Printf("%s: ok", path)
 }
 
-func check(path string, wantDegraded, wantCache, wantMP bool, wantShard string) error {
+// checkOptions collects the gate flags.
+type checkOptions struct {
+	degraded bool
+	cache    bool
+	mp       bool
+	allowHit bool
+	resume   bool
+	shard    string
+}
+
+func check(path string, opts checkOptions) error {
 	m, err := obs.ReadManifestFile(path)
 	if err != nil {
 		return err
@@ -76,9 +106,14 @@ func check(path string, wantDegraded, wantCache, wantMP bool, wantShard string) 
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	if wantShard != "" && m.Shard != wantShard {
-		return fmt.Errorf("-shard: manifest records shard %q, want %q", m.Shard, wantShard)
+	if opts.shard != "" && m.Shard != opts.shard {
+		return fmt.Errorf("-shard: manifest records shard %q, want %q", m.Shard, opts.shard)
 	}
+
+	// A cache-HIT run (answered from the response cache, zero solves)
+	// is legitimate under -allow-hit; every other run must prove it
+	// solved and dispatched.
+	hitOnly := opts.allowHit && m.Cache != nil && m.Cache.Hits > 0
 
 	// The pipeline must have reported at least one real solve with a
 	// recorded convergence trace.
@@ -89,7 +124,7 @@ func check(path string, wantDegraded, wantCache, wantMP bool, wantShard string) 
 			break
 		}
 	}
-	if !solved {
+	if !solved && !hitOnly {
 		return fmt.Errorf("no solve with iterations > 0 and a non-empty residual history (%d solves present)", len(m.Solves))
 	}
 
@@ -100,14 +135,14 @@ func check(path string, wantDegraded, wantCache, wantMP bool, wantShard string) 
 			dispatches += v
 		}
 	}
-	if dispatches <= 0 {
+	if dispatches <= 0 && !hitOnly {
 		return fmt.Errorf("no parallel.* dispatch counters recorded")
 	}
 
 	if err := checkDegradations(m); err != nil {
 		return err
 	}
-	if wantDegraded {
+	if opts.degraded {
 		any := false
 		for i := range m.Degradations {
 			if m.Degradations[i].Degraded() {
@@ -119,12 +154,12 @@ func check(path string, wantDegraded, wantCache, wantMP bool, wantShard string) 
 			return fmt.Errorf("-degraded: no degradation record shows a fallback, retry, or skip (%d records present) — the chaos profile did not bite", len(m.Degradations))
 		}
 	}
-	if wantCache {
+	if opts.cache {
 		if err := checkCache(m); err != nil {
 			return err
 		}
 	}
-	if wantMP {
+	if opts.mp {
 		mixed := false
 		for _, s := range m.Solves {
 			if s.Precision == obs.PrecisionMixed {
@@ -135,6 +170,17 @@ func check(path string, wantDegraded, wantCache, wantMP bool, wantShard string) 
 		if !mixed {
 			return fmt.Errorf("-mp: no solve record with precision %q (%d solves present) — the run never took the mixed-precision rung",
 				obs.PrecisionMixed, len(m.Solves))
+		}
+	}
+	if opts.resume {
+		switch {
+		case m.Resume == nil:
+			return fmt.Errorf("-resume: manifest has no resume section — the run never consulted a checkpoint")
+		case m.Resume.Outcome != obs.ResumeAccepted:
+			return fmt.Errorf("-resume: resume outcome is %q, want %q — the checkpoint was not resumed",
+				m.Resume.Outcome, obs.ResumeAccepted)
+		case m.Resume.Iter <= 0:
+			return fmt.Errorf("-resume: resume starts at iteration %d — nothing was actually resumed", m.Resume.Iter)
 		}
 	}
 	return nil

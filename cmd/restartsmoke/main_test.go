@@ -1,0 +1,24 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunRehearsal drives the full smoke — cold reference, the
+// requeue-once path, and the kill-and-restart path — exactly as the
+// restart-smoke CI gate does, and checks both manifests land on disk.
+func TestRunRehearsal(t *testing.T) {
+	dir := t.TempDir()
+	requeue := filepath.Join(dir, "requeue.json")
+	restart := filepath.Join(dir, "restart.json")
+	if err := run(requeue, restart, 32, 3, 4, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{requeue, restart} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("manifest %s missing or empty (err %v)", p, err)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"irfusion/internal/faults"
+	"irfusion/internal/obs"
+	"irfusion/internal/solver"
+)
+
+// Checkpoint artifacts: mid-solve snapshots keyed by design
+// fingerprint ⊕ request shape, living in the same byte-bounded
+// artifact cache as system artifacts. They power two recovery paths:
+// a restarted serving process reloads journaled checkpoint blobs into
+// its cache, and a cluster ring-successor picks up the donor shard's
+// checkpoint when the fleet shares a cache — either way the resume
+// rung (core.RungAMGResume) finds the snapshot by key, validates it
+// with a residual guard, and continues the solve from Iter instead of
+// iteration 0.
+
+// CheckpointGuardFactor relaxes the resume residual guard relative to
+// the checkpoint's own recorded residual: a mid-solve iterate is far
+// from converged by construction, so the guard cannot demand GuardTol
+// — instead the recomputed residual must land within this factor of
+// what the snapshot claims (plus float slack). A corrupt or foreign
+// iterate recomputes orders of magnitude off and is rejected.
+const CheckpointGuardFactor = 2.0
+
+// CheckpointArtifact is one cached solver snapshot plus the identity
+// needed to match it to a future request.
+type CheckpointArtifact struct {
+	Fingerprint string // design fingerprint the solve belongs to
+	Shape       string // request shape (see CheckpointShape)
+	N           int    // iterate length (reduced system dimension)
+	State       solver.Checkpoint
+}
+
+// SizeBytes estimates the artifact's cache footprint.
+func (a *CheckpointArtifact) SizeBytes() int64 {
+	if a == nil {
+		return 0
+	}
+	return 256 + int64(len(a.State.X)+len(a.State.HistoryTail))*8
+}
+
+// CheckpointKey is the cache key of the checkpoint for fingerprint fp
+// under request shape.
+func CheckpointKey(fp, shape string) string { return "ckpt|" + fp + "|" + shape }
+
+// CheckpointTag groups checkpoint artifacts of one dimension.
+func CheckpointTag(n int) string { return "ckpt|n=" + fmt.Sprint(n) }
+
+// CheckpointShape canonicalizes the request fields that decide
+// whether a checkpoint is resumable by a solve: the preconditioner
+// family, the arithmetic precision, the storage format, and the
+// iteration budget. Two requests with the same fingerprint and shape
+// run the same solve, so one may resume the other's checkpoint.
+func CheckpointShape(precond, precision, format string, iters int) string {
+	if precond == "" {
+		precond = "amg"
+	}
+	if precision == "" {
+		precision = obs.PrecisionFull
+	}
+	if format == "" {
+		format = "auto"
+	}
+	return fmt.Sprintf("precond=%s,prec=%s,fmt=%s,iters=%d", precond, precision, format, iters)
+}
+
+// StoreCheckpoint stores art under its fingerprint⊕shape key. The
+// faults site checkpoint.save fires on every store: latency faults
+// sleep cooperatively (simulating slow durable media — a cancelled
+// context abandons the store), ActFail drops the snapshot silently
+// (the solve must still complete; it just loses resumability).
+func StoreCheckpoint(ctx context.Context, c *Cache, art *CheckpointArtifact) {
+	if c == nil || art == nil || art.Fingerprint == "" {
+		return
+	}
+	if f := faults.ActiveOr(ctx).Fire(faults.SiteCheckpointSave, art.State.Label); f != nil {
+		if f.Action == faults.ActFail {
+			return
+		}
+		if err := f.Sleep(ctx); err != nil {
+			return
+		}
+	}
+	c.Put(CheckpointKey(art.Fingerprint, art.Shape), art, art.SizeBytes(), CheckpointTag(art.N))
+}
+
+// LookupCheckpoint returns the checkpoint cached for fp under shape,
+// or nil. The faults site checkpoint.restore fires on every lookup
+// that found an entry: ActFail reports a miss, ActCorrupt returns a
+// copy whose iterate is poisoned — the resume rung's residual guard
+// must reject it and fall through to the cold ladder.
+func LookupCheckpoint(ctx context.Context, c *Cache, fp, shape string) *CheckpointArtifact {
+	if c == nil || fp == "" {
+		return nil
+	}
+	v, ok := c.Get(CheckpointKey(fp, shape))
+	if !ok {
+		return nil
+	}
+	art, ok := v.(*CheckpointArtifact)
+	if !ok {
+		return nil
+	}
+	if f := faults.ActiveOr(ctx).Fire(faults.SiteCheckpointRestore, art.State.Label); f != nil {
+		switch f.Action {
+		case faults.ActFail:
+			return nil
+		case faults.ActCorrupt:
+			// Same poisoning scheme as LookupSystem's stale fault: shift
+			// the iterate so the recomputed residual explodes past the
+			// guard while every value stays finite.
+			bad := *art
+			bad.State.X = append([]float64(nil), art.State.X...)
+			for i := range bad.State.X {
+				bad.State.X[i] += 1 + float64(i%3)
+			}
+			return &bad
+		}
+	}
+	return art
+}
+
+// DropCheckpoint removes the checkpoint cached for fp under shape —
+// called after the solve it belonged to completes, so a finished
+// job's snapshot cannot shadow a later identical request.
+func DropCheckpoint(c *Cache, fp, shape string) {
+	if c == nil || fp == "" {
+		return
+	}
+	c.Drop(CheckpointKey(fp, shape))
+}
+
+// Durable encoding: a hand-rolled little-endian binary format rather
+// than gob, because EncodeCheckpoint sits on the solve's checkpoint
+// cadence — the snapshot copy plus this encode is the entire
+// per-interval overhead, and gob's reflection walk was the dominant
+// term (BenchmarkCheckpointOverhead gates the total at <5% of the
+// solve). The journal's blob store holds the bytes opaquely; cache
+// stays the single owner of the artifact schema.
+//
+//	"IRCK" 0x01 | fingerprint | shape | u64 N
+//	| X | u64 iter | f64 residual | historyTail
+//	| f64 tol | u64 maxIter | u8 flexible | label | format | precision
+//
+// where strings are u64 length + bytes and float slices are u64
+// element count + IEEE 754 bits, all little-endian.
+var ckptMagic = []byte{'I', 'R', 'C', 'K', 1}
+
+const ckptMaxField = 1 << 30 // sanity bound on any decoded length
+
+// EncodeCheckpoint serializes art for durable storage.
+func EncodeCheckpoint(art *CheckpointArtifact) ([]byte, error) {
+	if art == nil {
+		return nil, fmt.Errorf("cache: encode checkpoint: nil artifact")
+	}
+	st := &art.State
+	size := len(ckptMagic) + 8*8 + 1 + // fixed fields, lengths folded below
+		len(art.Fingerprint) + len(art.Shape) + len(st.Label) + len(st.Format) + len(st.Precision) +
+		8*(len(st.X)+len(st.HistoryTail)) + 6*8
+	buf := make([]byte, 0, size)
+	buf = append(buf, ckptMagic...)
+	buf = appendString(buf, art.Fingerprint)
+	buf = appendString(buf, art.Shape)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(art.N))
+	buf = appendFloats(buf, st.X)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.Iter))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.Residual))
+	buf = appendFloats(buf, st.HistoryTail)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.Tol))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.MaxIter))
+	if st.Flexible {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendString(buf, st.Label)
+	buf = appendString(buf, st.Format)
+	buf = appendString(buf, st.Precision)
+	return buf, nil
+}
+
+// DecodeCheckpoint is the inverse of EncodeCheckpoint. Arbitrary or
+// damaged bytes return an error, never a panic — restart recovery
+// feeds journaled blobs straight in.
+func DecodeCheckpoint(data []byte) (*CheckpointArtifact, error) {
+	d := &ckptDecoder{buf: data}
+	magic := d.bytes(len(ckptMagic))
+	if d.err == nil && !bytes.Equal(magic, ckptMagic) {
+		d.err = fmt.Errorf("bad magic")
+	}
+	art := &CheckpointArtifact{}
+	art.Fingerprint = d.string()
+	art.Shape = d.string()
+	art.N = int(d.uint64())
+	st := &art.State
+	st.X = d.floats()
+	st.Iter = int(d.uint64())
+	st.Residual = d.float64()
+	st.HistoryTail = d.floats()
+	st.Tol = d.float64()
+	st.MaxIter = int(d.uint64())
+	st.Flexible = d.byte() != 0
+	st.Label = d.string()
+	st.Format = d.string()
+	st.Precision = d.string()
+	if d.err == nil && len(d.buf) != 0 {
+		d.err = fmt.Errorf("%d trailing bytes", len(d.buf))
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("cache: decode checkpoint: %w", d.err)
+	}
+	return art, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendFloats(buf []byte, v []float64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(v)))
+	for _, f := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	return buf
+}
+
+// ckptDecoder consumes the encoded buffer front to back; the first
+// failure sticks and every later read returns zero values.
+type ckptDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *ckptDecoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > ckptMaxField || n > len(d.buf) {
+		d.err = fmt.Errorf("truncated (want %d bytes, have %d)", n, len(d.buf))
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *ckptDecoder) uint64() uint64 {
+	b := d.bytes(8)
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *ckptDecoder) byte() byte {
+	b := d.bytes(1)
+	if d.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *ckptDecoder) float64() float64 { return math.Float64frombits(d.uint64()) }
+
+func (d *ckptDecoder) string() string {
+	n := d.uint64()
+	if d.err == nil && n > ckptMaxField {
+		d.err = fmt.Errorf("absurd string length %d", n)
+		return ""
+	}
+	return string(d.bytes(int(n)))
+}
+
+func (d *ckptDecoder) floats() []float64 {
+	n := d.uint64()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > ckptMaxField/8 || int(n)*8 > len(d.buf) {
+		d.err = fmt.Errorf("absurd float count %d for %d remaining bytes", n, len(d.buf))
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.float64()
+	}
+	return out
+}
+
+// CheckpointWriter adapts the cache to solver.CheckpointSink: each
+// snapshot the solver hands over is stored under Fingerprint⊕Shape
+// (replacing the previous one — only the newest snapshot matters) and
+// optionally forwarded to Notify, which the serving layer uses to
+// persist the snapshot durably (journal blob + checkpoint record).
+type CheckpointWriter struct {
+	Ctx         context.Context // faults/obs resolution context of the solve
+	Cache       *Cache
+	Fingerprint string
+	Shape       string
+	// Notify, when non-nil, receives the cache key and the encoded
+	// artifact after each store — the durable-persistence hook.
+	Notify func(key string, encoded []byte)
+}
+
+// SaveCheckpoint implements solver.CheckpointSink.
+func (w *CheckpointWriter) SaveCheckpoint(cp solver.Checkpoint) {
+	if w == nil || w.Fingerprint == "" {
+		return
+	}
+	ctx := w.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	art := &CheckpointArtifact{
+		Fingerprint: w.Fingerprint,
+		Shape:       w.Shape,
+		N:           len(cp.X),
+		State:       cp,
+	}
+	StoreCheckpoint(ctx, w.Cache, art)
+	if w.Notify != nil {
+		encoded, err := EncodeCheckpoint(art)
+		if err != nil {
+			return // never let persistence trouble touch the solve
+		}
+		w.Notify(CheckpointKey(w.Fingerprint, w.Shape), encoded)
+	}
+}

@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"context"
+	"testing"
+
+	"irfusion/internal/faults"
+	"irfusion/internal/obs"
+	"irfusion/internal/solver"
+)
+
+func testCheckpointArtifact(fp string) *CheckpointArtifact {
+	return &CheckpointArtifact{
+		Fingerprint: fp,
+		Shape:       CheckpointShape("amg", obs.PrecisionFull, "auto", 0),
+		N:           4,
+		State: solver.Checkpoint{
+			X:           []float64{1, 2, 3, 4},
+			Iter:        32,
+			Residual:    1e-4,
+			HistoryTail: []float64{1e-2, 1e-3, 1e-4},
+			Tol:         1e-8,
+			MaxIter:     500,
+			Label:       "numerical.amg",
+			Precision:   obs.PrecisionFull,
+		},
+	}
+}
+
+// TestCheckpointStoreLookupDrop: the store/lookup/drop lifecycle under
+// fingerprint⊕shape keys, including shape isolation (a different
+// request shape must not see the checkpoint).
+func TestCheckpointStoreLookupDrop(t *testing.T) {
+	c := New(0, 0)
+	ctx := context.Background()
+	art := testCheckpointArtifact("fp-1")
+	StoreCheckpoint(ctx, c, art)
+
+	got := LookupCheckpoint(ctx, c, "fp-1", art.Shape)
+	if got == nil || got.State.Iter != 32 || len(got.State.X) != 4 {
+		t.Fatalf("lookup: %+v", got)
+	}
+	if LookupCheckpoint(ctx, c, "fp-other", art.Shape) != nil {
+		t.Error("foreign fingerprint found the checkpoint")
+	}
+	otherShape := CheckpointShape("ssor", obs.PrecisionFull, "auto", 0)
+	if LookupCheckpoint(ctx, c, "fp-1", otherShape) != nil {
+		t.Error("foreign request shape found the checkpoint")
+	}
+
+	DropCheckpoint(c, "fp-1", art.Shape)
+	if LookupCheckpoint(ctx, c, "fp-1", art.Shape) != nil {
+		t.Error("checkpoint survived DropCheckpoint")
+	}
+	// Nil-safety of every helper.
+	StoreCheckpoint(ctx, nil, art)
+	DropCheckpoint(nil, "fp-1", art.Shape)
+	if LookupCheckpoint(ctx, nil, "fp-1", art.Shape) != nil {
+		t.Error("nil cache produced a checkpoint")
+	}
+}
+
+// TestCheckpointShapeDefaults: empty request fields canonicalize to
+// the documented defaults so "amg, full, auto" spelled explicitly and
+// implicitly share one checkpoint.
+func TestCheckpointShapeDefaults(t *testing.T) {
+	if got, want := CheckpointShape("", "", "", 0), CheckpointShape("amg", obs.PrecisionFull, "auto", 0); got != want {
+		t.Errorf("defaulted shape %q != explicit %q", got, want)
+	}
+	if CheckpointShape("amg", "full", "auto", 0) == CheckpointShape("amg", "full", "auto", 7) {
+		t.Error("iteration budget does not qualify the shape")
+	}
+}
+
+// TestCheckpointFaults: checkpoint.save:fail drops the store
+// silently; checkpoint.restore:fail hides the entry;
+// checkpoint.restore:corrupt returns a poisoned copy without touching
+// the cached original.
+func TestCheckpointFaults(t *testing.T) {
+	art := testCheckpointArtifact("fp-f")
+
+	c := New(0, 0)
+	ctx := faults.WithInjector(context.Background(), faults.MustParse("checkpoint.save:fail"))
+	StoreCheckpoint(ctx, c, art)
+	if c.Len() != 0 {
+		t.Fatal("ActFail store still cached the checkpoint")
+	}
+
+	c = New(0, 0)
+	StoreCheckpoint(context.Background(), c, art)
+	ctx = faults.WithInjector(context.Background(), faults.MustParse("checkpoint.restore:fail"))
+	if LookupCheckpoint(ctx, c, "fp-f", art.Shape) != nil {
+		t.Error("ActFail lookup still returned the checkpoint")
+	}
+
+	ctx = faults.WithInjector(context.Background(), faults.MustParse("checkpoint.restore:corrupt"))
+	bad := LookupCheckpoint(ctx, c, "fp-f", art.Shape)
+	if bad == nil {
+		t.Fatal("ActCorrupt lookup returned nothing")
+	}
+	poisoned := false
+	for i := range bad.State.X {
+		if bad.State.X[i] != art.State.X[i] { //irfusion:exact poisoning must have moved at least one coordinate
+			poisoned = true
+		}
+	}
+	if !poisoned {
+		t.Error("ActCorrupt returned an unpoisoned iterate")
+	}
+	clean := LookupCheckpoint(context.Background(), c, "fp-f", art.Shape)
+	for i := range clean.State.X {
+		if clean.State.X[i] != art.State.X[i] { //irfusion:exact the cached original must be untouched by the poisoned copy
+			t.Fatal("poisoning mutated the cached artifact")
+		}
+	}
+}
+
+// TestCheckpointEncodeDecode: the gob round trip used by the durable
+// blob path preserves every field.
+func TestCheckpointEncodeDecode(t *testing.T) {
+	art := testCheckpointArtifact("fp-enc")
+	data, err := EncodeCheckpoint(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint != art.Fingerprint || back.Shape != art.Shape || back.N != art.N {
+		t.Fatalf("identity lost: %+v", back)
+	}
+	if back.State.Iter != art.State.Iter || back.State.Residual != art.State.Residual { //irfusion:exact gob must reproduce the snapshot bits
+		t.Fatalf("state lost: %+v", back.State)
+	}
+	for i := range art.State.X {
+		if back.State.X[i] != art.State.X[i] { //irfusion:exact gob must reproduce the snapshot bits
+			t.Fatalf("iterate lost at %d", i)
+		}
+	}
+	if _, err := DecodeCheckpoint([]byte("junk")); err == nil {
+		t.Error("junk decoded without error")
+	}
+}
+
+// TestCheckpointWriterNotify: the solver-facing sink stores into the
+// cache and forwards the encoded artifact (with its key) to the
+// durable-persistence hook.
+func TestCheckpointWriterNotify(t *testing.T) {
+	c := New(0, 0)
+	var gotKey string
+	var gotBytes []byte
+	w := &CheckpointWriter{
+		Cache:       c,
+		Fingerprint: "fp-w",
+		Shape:       CheckpointShape("amg", "full", "auto", 0),
+		Notify:      func(key string, encoded []byte) { gotKey, gotBytes = key, encoded },
+	}
+	w.SaveCheckpoint(testCheckpointArtifact("ignored").State)
+
+	if got := LookupCheckpoint(context.Background(), c, "fp-w", w.Shape); got == nil {
+		t.Fatal("sink did not store into the cache")
+	}
+	if gotKey != CheckpointKey("fp-w", w.Shape) {
+		t.Errorf("notify key %q", gotKey)
+	}
+	back, err := DecodeCheckpoint(gotBytes)
+	if err != nil {
+		t.Fatalf("notify payload does not decode: %v", err)
+	}
+	if back.Fingerprint != "fp-w" || back.State.Iter != 32 {
+		t.Errorf("notify payload %+v", back)
+	}
+	// A writer without a fingerprint is inert (budgeted solves).
+	inert := &CheckpointWriter{Cache: c}
+	inert.SaveCheckpoint(solver.Checkpoint{X: []float64{1}})
+}

@@ -443,6 +443,10 @@ func (g *Gateway) send(r *http.Request, sh *shardState, body []byte, attempt int
 	req.Header.Set(serve.HeaderRouteAttempt, strconv.Itoa(attempt))
 	if prev != "" {
 		req.Header.Set(serve.HeaderHandoffFrom, prev)
+		// When the fleet shares a checkpoint-bearing cache, the successor
+		// may resume the donor's partial solve; name the donor so the
+		// resumed manifest records whose iterations it inherited.
+		req.Header.Set(serve.HeaderResumeFrom, prev)
 	}
 	return g.cfg.Client.Do(req)
 }

@@ -614,6 +614,7 @@ const (
 	RungAMG        = "numerical.amg"
 	RungAMGMP      = "numerical.amg.mp"
 	RungAMGWarm    = "numerical.amg.warm"
+	RungAMGResume  = "numerical.amg.resume"
 	RungSSOR       = "numerical.ssor"
 	RungRandomWalk = "numerical.randomwalk"
 	RungRough      = "rough"
@@ -655,6 +656,26 @@ type NumericalAnalyzer struct {
 	// shared circuit-breaker set of a serving process. The zero value
 	// means defaults (see ResilienceOptions).
 	Resilience ResilienceOptions
+	// CheckpointEvery enables solver checkpointing on converged cached
+	// analyses: every CheckpointEvery PCG iterations (every refinement
+	// round on the mixed rung) the solve snapshots its iterate into the
+	// artifact cache under fingerprint⊕shape, and AnalyzeCtx prepends a
+	// resume rung (RungAMGResume) when a matching snapshot already
+	// exists — a crashed or handed-off solve continues from its last
+	// checkpoint instead of iteration 0. 0 disables checkpointing.
+	// Requires an active artifact cache; budgeted solves (Iters > 0)
+	// never checkpoint — they run cold by design.
+	CheckpointEvery int
+	// OnCheckpoint, when non-nil, additionally receives each stored
+	// checkpoint's cache key and gob encoding — the durable-persistence
+	// hook the serving layer points at its write-ahead journal.
+	OnCheckpoint func(key string, encoded []byte)
+
+	// ckptSink is the per-analysis checkpoint writer, installed by
+	// AnalyzeCtx when checkpointing applies. NumericalAnalyzer values
+	// are per-request (the serving layer builds one per job), so the
+	// field needs no locking.
+	ckptSink solver.CheckpointSink
 }
 
 // Analyze solves the design and rasterizes the bottom-layer drops,
@@ -716,6 +737,12 @@ func (n *NumericalAnalyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*gr
 			}
 		}
 	}
+	shape := cache.CheckpointShape(n.Precond, n.Precision, n.Format, n.Iters)
+	if cc != nil && fp != "" && n.CheckpointEvery > 0 {
+		n.ckptSink = &cache.CheckpointWriter{
+			Ctx: ctx, Cache: cc, Fingerprint: fp, Shape: shape, Notify: n.OnCheckpoint,
+		}
+	}
 	if !solved {
 		var hier *amg.Hierarchy
 		rungs := n.ladderRungs(sys, x, &res, &hier)
@@ -744,10 +771,17 @@ func (n *NumericalAnalyzer) AnalyzeCtx(ctx context.Context, d *pgen.Design) (*gr
 				rungs = append([]LadderRung{warm}, rungs...)
 			}
 		}
+		if cp := cache.LookupCheckpoint(ctx, cc, fp, shape); cp != nil && cp.N == sys.N() && cp.State.Iter > 0 {
+			rungs = append([]LadderRung{n.resumeRung(sys, x, &res, &hier, cp, rec)}, rungs...)
+		}
 		if _, _, err := RunLadder(ctx, "core.numerical", rungs, n.Resilience); err != nil {
 			return nil, 0, 0, err
 		}
 		if cc != nil && fp != "" && res.Converged {
+			// The solve is done; its mid-flight snapshot must not shadow
+			// a later identical request (the golden artifact below is
+			// strictly better).
+			cache.DropCheckpoint(cc, fp, shape)
 			prec := obs.PrecisionFull
 			if n.Precision == "mixed" {
 				prec = obs.PrecisionMixed
@@ -783,7 +817,74 @@ func (n *NumericalAnalyzer) solveOpts(label string) solver.Options {
 	if n.Format != "" {
 		opts.Format = n.Format
 	}
+	if n.ckptSink != nil {
+		opts.CheckpointEvery = n.CheckpointEvery
+		opts.CheckpointSink = n.ckptSink
+	}
 	return opts
+}
+
+// resumeRung builds the checkpoint-resume rung (RungAMGResume),
+// prepended ahead of every other rung when a cached checkpoint
+// matches the request. The rung re-validates the snapshot against the
+// freshly assembled system with a residual guard — the recomputed
+// relative residual must land within CheckpointGuardFactor of what
+// the snapshot recorded (or under cache.GuardTol outright) — then
+// continues PCG from the checkpointed iterate under a freshly built
+// AMG hierarchy (flexible PCG tolerates the preconditioner change). A
+// guard rejection drops the poisoned snapshot and returns an error,
+// so the ordinary ladder mechanics fall through to the cold rungs
+// with a recorded degradation trail; either way the manifest's resume
+// section says what happened.
+func (n *NumericalAnalyzer) resumeRung(sys *circuit.System, x []float64, res *solver.Result, hierOut **amg.Hierarchy, cp *cache.CheckpointArtifact, rec *obs.Recorder) LadderRung {
+	return LadderRung{Name: RungAMGResume, Run: func(ctx context.Context) error {
+		guard := cp.State.Residual * cache.CheckpointGuardFactor
+		if guard < cache.GuardTol {
+			guard = cache.GuardTol
+		}
+		key := cache.CheckpointKey(cp.Fingerprint, cp.Shape)
+		got := solver.RelResidual(sys.G, cp.State.X, sys.I)
+		if got > guard {
+			// Corrupt, stale, or foreign iterate: reject it, drop the
+			// snapshot so retries go cold immediately, and let the
+			// ladder degrade.
+			rec.RecordResume(obs.ResumeSection{
+				CheckpointKey: cache.ShortKey(key), Iter: cp.State.Iter,
+				Residual: got, Outcome: obs.ResumeRejected,
+			})
+			rec.RecordCacheEvent(obs.CacheEvent{
+				Stage: "checkpoint.restore", Outcome: obs.CacheStale, Key: cache.ShortKey(key),
+			})
+			cc := cache.ActiveOr(ctx)
+			cache.DropCheckpoint(cc, cp.Fingerprint, cp.Shape)
+			return fmt.Errorf("core: checkpoint residual %g exceeds guard %g (recorded %g at iteration %d)",
+				got, guard, cp.State.Residual, cp.State.Iter)
+		}
+		h, err := amg.BuildCtx(ctx, sys.G, amg.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if hierOut != nil {
+			*hierOut = h
+		}
+		copy(x, cp.State.X)
+		r, err := solver.PCGCtx(ctx, sys.G, x, sys.I, h, n.solveOpts(RungAMGResume))
+		if err != nil {
+			return err
+		}
+		if !r.Converged {
+			return fmt.Errorf("core: resumed solve stalled at %g", r.Residual)
+		}
+		*res = r
+		rec.RecordResume(obs.ResumeSection{
+			CheckpointKey: cache.ShortKey(key), Iter: cp.State.Iter,
+			Residual: cp.State.Residual, Outcome: obs.ResumeAccepted,
+		})
+		rec.RecordCacheEvent(obs.CacheEvent{
+			Stage: "checkpoint.restore", Outcome: obs.CacheHit, Key: cache.ShortKey(key),
+		})
+		return nil
+	}}
 }
 
 // ladderRungs builds the degradation ladder for this analyzer's

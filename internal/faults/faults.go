@@ -21,7 +21,7 @@
 //
 // Sites and the actions they honor:
 //
-//	solver.pcg    breakdown | indefinite | nan | inf
+//	solver.pcg    breakdown | indefinite | nan | inf | panic
 //	amg.setup     fail
 //	dataset.build latency | stall
 //	features.map  latency
@@ -30,6 +30,9 @@
 //	cache.delta   latency | fail
 //	cluster.probe   fail | latency
 //	cluster.forward fail | latency
+//	journal.append     fail | torn
+//	checkpoint.save    latency | fail
+//	checkpoint.restore corrupt | fail
 //
 // Modifier keys (all optional):
 //
@@ -80,6 +83,17 @@ const (
 	// connection dropped — exercising ring handoff to the successor.
 	SiteClusterProbe   = "cluster.probe"   // shard health probe in the gateway
 	SiteClusterForward = "cluster.forward" // request forward in the gateway
+
+	// Durability sites fire in the crash-recovery layer:
+	// journal.append at every write-ahead journal append (labeled with
+	// the record type, so a spec can target e.g. only "checkpoint"
+	// records), checkpoint.save when a solver checkpoint is persisted,
+	// and checkpoint.restore when a cached/journaled checkpoint is
+	// loaded for a resume — ActCorrupt there poisons the restored
+	// iterate so the resume residual guard must reject it.
+	SiteJournalAppend     = "journal.append"     // WAL append in internal/journal
+	SiteCheckpointSave    = "checkpoint.save"    // checkpoint persistence in internal/cache
+	SiteCheckpointRestore = "checkpoint.restore" // checkpoint restore in internal/cache
 )
 
 // Actions a fired fault can request. The call site interprets them;
@@ -96,6 +110,8 @@ const (
 	ActPanic      = "panic"      // panic inside the instrumented goroutine
 	ActStale      = "stale"      // serve a corrupted copy of a cache entry (guards must catch it)
 	ActEvict      = "evict"      // drop the entry mid-lookup, as if eviction won the race
+	ActTorn       = "torn"       // tear a journal append mid-frame, as if the process crashed
+	ActCorrupt    = "corrupt"    // poison a restored checkpoint (the resume guard must catch it)
 )
 
 // Fault describes one fired injection. Exactly what the call site

@@ -1,0 +1,503 @@
+// Package journal is the write-ahead job journal of the serving
+// layer: a stdlib-only, append-only log of job lifecycle records that
+// survives process crashes. A serving process appends one record per
+// lifecycle transition (accepted, started, checkpoint, finished,
+// cancelled, failed); after a crash, replaying the journal tells the
+// restarted process exactly which jobs were in flight — and, via
+// checkpoint records, where their solves left off.
+//
+// # On-disk format
+//
+// A journal directory holds numbered segment files
+// ("journal-000001.wal", "journal-000002.wal", ...). Each segment is a
+// sequence of frames:
+//
+//	[4B big-endian payload length][4B IEEE CRC32 of payload][payload]
+//
+// The payload is the JSON encoding of one Record. Appends go to the
+// highest-numbered segment; when it would grow past SegmentBytes a new
+// segment is started. Nothing is ever rewritten in place, so the only
+// corruption a crash can produce is a torn final frame — which replay
+// detects (short frame or CRC mismatch), truncates, and reports,
+// never refusing to start. Corruption earlier in a segment (bit rot,
+// manual editing) ends that segment's replay at the last clean frame;
+// the damage is counted in ReplayStats but later segments still
+// replay, because a fleet restart must come back up with whatever
+// history is readable.
+//
+// # Durability policy
+//
+// The Sync option selects when appends reach the disk platter:
+// SyncAlways fsyncs after every append (a crashed process loses
+// nothing it acknowledged), SyncInterval fsyncs lazily when at least
+// SyncEvery has elapsed since the last sync — amortizing the fsync
+// over bursts without needing a background goroutine (the goroutine
+// containment rule of this repository confines `go` statements to the
+// parallel/serve/cluster packages; the lazy sync keeps journal out of
+// that set by design) — and SyncNone leaves flushing to the OS.
+package journal
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"irfusion/internal/faults"
+)
+
+// Record types, the lifecycle vocabulary of the journal. Replay folds
+// the records of one JobID in order; the last type decides the job's
+// fate (TypeFinished/TypeCancelled/TypeFailed are terminal, anything
+// else marks an orphan to re-enqueue).
+const (
+	TypeAccepted   = "accepted"   // job admitted into the queue (carries the request)
+	TypeStarted    = "started"    // a worker began executing the job
+	TypeCheckpoint = "checkpoint" // a solver checkpoint was persisted (carries its key)
+	TypeFinished   = "finished"   // job completed successfully
+	TypeCancelled  = "cancelled"  // job cancelled by the client or shutdown
+	TypeFailed     = "failed"     // job failed terminally (carries the error kind)
+	// TypeRequeued marks a job put back into the queue — after a worker
+	// panic (one retry) or by journal replay at restart. Deliberately
+	// non-terminal: a requeued job is still in flight.
+	TypeRequeued = "requeued"
+)
+
+// Record is one journal entry. Request is carried only by
+// TypeAccepted (the full submission body, so replay can re-enqueue the
+// job); CheckpointKey only by TypeCheckpoint and requeue-style
+// TypeFailed records.
+type Record struct {
+	Type          string          `json:"type"`
+	JobID         string          `json:"job_id"`
+	Time          time.Time       `json:"time"`
+	Request       json.RawMessage `json:"request,omitempty"`
+	CheckpointKey string          `json:"checkpoint_key,omitempty"`
+	Detail        string          `json:"detail,omitempty"`
+}
+
+// Terminal reports whether the record type ends a job's lifecycle.
+func (r *Record) Terminal() bool {
+	switch r.Type {
+	case TypeFinished, TypeCancelled, TypeFailed:
+		return true
+	}
+	return false
+}
+
+// Sync policies of Options.Sync.
+const (
+	SyncAlways   = "always"   // fsync after every append
+	SyncInterval = "interval" // fsync lazily, at most once per SyncEvery
+	SyncNone     = "none"     // never fsync; the OS flushes on its schedule
+)
+
+// Options tunes a journal. The zero value takes the defaults noted on
+// each field.
+type Options struct {
+	// SegmentBytes bounds one segment file; appends that would exceed
+	// it rotate to a fresh segment. Default 1 MiB.
+	SegmentBytes int64
+	// Sync is the fsync policy (SyncAlways/SyncInterval/SyncNone).
+	// Default SyncAlways: a job journal is small-volume and its whole
+	// point is surviving a crash.
+	Sync string
+	// SyncEvery is the lazy-sync period of SyncInterval. Default 100ms.
+	SyncEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.Sync == "" {
+		o.Sync = SyncAlways
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	return o
+}
+
+// ReplayStats reports what Open found when replaying the directory.
+type ReplayStats struct {
+	Segments  int   // segment files scanned
+	Records   int   // clean records replayed
+	TornBytes int64 // bytes truncated off the final segment's torn tail
+	Corrupt   int   // segments whose replay ended early at a bad frame
+}
+
+// frameHeader is [length][crc], both uint32 big-endian.
+const frameHeader = 8
+
+// maxPayload bounds one record's encoded size; a length field beyond
+// it is treated as corruption rather than an allocation request.
+const maxPayload = 8 << 20
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("journal: closed")
+
+// Journal is an open write-ahead journal. All methods are safe for
+// concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	seq      int   // sequence number of the open segment
+	size     int64 // bytes written to the open segment
+	lastSync time.Time
+	dirty    bool // unsynced appends outstanding (SyncInterval)
+	closed   bool
+}
+
+// Open opens (creating if needed) the journal in dir, replays every
+// readable record through replay (which may be nil), and returns the
+// journal positioned for appending. A torn tail on the final segment
+// is truncated; corruption never makes Open fail — the stats say what
+// was lost. Only real I/O problems (permissions, disk errors) error.
+func Open(dir string, opts Options, replay func(Record)) (*Journal, ReplayStats, error) {
+	opts = opts.withDefaults()
+	var stats ReplayStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("journal: create dir: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Segments = len(segs)
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		if err := replaySegment(filepath.Join(dir, seg.name), final, replay, &stats); err != nil {
+			return nil, stats, err
+		}
+	}
+	j := &Journal{dir: dir, opts: opts, lastSync: time.Now()}
+	// Continue the last segment when it has room, else start the next.
+	seq := 1
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		fi, err := os.Stat(filepath.Join(dir, last.name))
+		if err != nil {
+			return nil, stats, fmt.Errorf("journal: stat %s: %w", last.name, err)
+		}
+		if fi.Size() < opts.SegmentBytes {
+			seq = last.seq
+		} else {
+			seq = last.seq + 1
+		}
+	}
+	if err := j.openSegment(seq); err != nil {
+		return nil, stats, err
+	}
+	return j, stats, nil
+}
+
+type segment struct {
+	name string
+	seq  int
+}
+
+// listSegments returns the journal's segment files in sequence order.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: read dir: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "journal-%06d.wal", &seq); err == nil && seq > 0 {
+			segs = append(segs, segment{name: e.Name(), seq: seq})
+		}
+	}
+	sort.Slice(segs, func(i, k int) bool { return segs[i].seq < segs[k].seq })
+	return segs, nil
+}
+
+// replaySegment streams one segment's frames through replay. On a bad
+// frame (short read, oversized length, CRC mismatch, or undecodable
+// payload) it stops at the last clean frame; when the segment is the
+// journal's final one the file is truncated there so the next append
+// lands on a clean boundary and re-opening is idempotent.
+func replaySegment(path string, final bool, replay func(Record), stats *ReplayStats) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("journal: open segment: %w", err)
+	}
+	defer f.Close()
+	var clean int64 // offset after the last fully-valid frame
+	var hdr [frameHeader]byte
+	buf := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // clean end of segment
+			}
+			stats.Corrupt++
+			break // torn header
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		want := binary.BigEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxPayload {
+			stats.Corrupt++
+			break
+		}
+		if cap(buf) < int(length) {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := io.ReadFull(f, buf); err != nil {
+			stats.Corrupt++
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(buf) != want {
+			stats.Corrupt++
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			stats.Corrupt++
+			break
+		}
+		clean += frameHeader + int64(length)
+		stats.Records++
+		if replay != nil {
+			replay(rec)
+		}
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("journal: stat segment: %w", err)
+	}
+	if torn := fi.Size() - clean; torn > 0 && final {
+		stats.TornBytes += torn
+		if err := os.Truncate(path, clean); err != nil {
+			return fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// openSegment opens segment seq for appending; j.mu need not be held
+// (only Open calls it before the journal is shared).
+func (j *Journal) openSegment(seq int) error {
+	name := filepath.Join(j.dir, fmt.Sprintf("journal-%06d.wal", seq))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: open segment for append: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("journal: stat segment: %w", err)
+	}
+	j.f, j.seq, j.size = f, seq, fi.Size()
+	return nil
+}
+
+// Append encodes rec as one frame and writes it to the active
+// segment, rotating first when the segment is full, then applies the
+// sync policy. The faults site journal.append rehearses failure modes:
+// ActFail fails the append without writing, ActTorn writes a
+// deliberately truncated frame (simulating a crash mid-write) and
+// reports an error — replay must truncate it.
+func (j *Journal) Append(ctx context.Context, rec Record) error {
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	frame := encodeFrame(payload)
+
+	var torn bool
+	if f := faults.ActiveOr(ctx).Fire(faults.SiteJournalAppend, rec.Type); f != nil {
+		switch f.Action {
+		case faults.ActFail:
+			return fmt.Errorf("journal: append %s for %s: %w", rec.Type, rec.JobID, f.Error())
+		case faults.ActTorn:
+			torn = true
+		}
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.size > 0 && j.size+int64(len(frame)) > j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if torn {
+		// Crash simulation: half a frame reaches the disk, then the
+		// "process dies". Sync so the torn bytes are really there for
+		// the restart to find, and surface an error like a real torn
+		// write would (the caller never got an acknowledgement).
+		cut := frame[:frameHeader+len(payload)/2]
+		if _, werr := j.f.Write(cut); werr != nil {
+			return fmt.Errorf("journal: torn write: %w", werr)
+		}
+		j.size += int64(len(cut))
+		_ = j.f.Sync()
+		return fmt.Errorf("journal: append %s for %s: injected torn write", rec.Type, rec.JobID)
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: write frame: %w", err)
+	}
+	j.size += int64(len(frame))
+	return j.syncLocked()
+}
+
+// encodeFrame builds [len][crc][payload].
+//
+//irfusion:hotpath-allow frames are built on the job-lifecycle path, not a solver inner loop; crc32 and append are the whole job
+func encodeFrame(payload []byte) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	return frame
+}
+
+// syncLocked applies the sync policy after an append; j.mu held.
+func (j *Journal) syncLocked() error {
+	switch j.opts.Sync {
+	case SyncNone:
+		return nil
+	case SyncInterval:
+		j.dirty = true
+		if time.Since(j.lastSync) < j.opts.SyncEvery {
+			return nil
+		}
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.lastSync = time.Now()
+	j.dirty = false
+	return nil
+}
+
+// rotateLocked closes the active segment and opens the next; j.mu held.
+func (j *Journal) rotateLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync before rotate: %w", err)
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: close segment: %w", err)
+	}
+	return j.openSegment(j.seq + 1)
+}
+
+// Sync forces outstanding appends to disk regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.lastSync = time.Now()
+	j.dirty = false
+	return nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Close syncs and closes the journal. Further Appends return
+// ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("journal: fsync on close: %w", err)
+	}
+	return j.f.Close()
+}
+
+// JobState folds one job's replayed records: the original request (from
+// its accepted record), its latest checkpoint key, and whether any
+// record marked it terminal.
+type JobState struct {
+	JobID         string
+	Request       json.RawMessage
+	CheckpointKey string
+	LastType      string
+	Terminal      bool
+}
+
+// Fold accumulates replayed records into per-job states, preserving
+// first-acceptance order — the order orphans should be re-enqueued in.
+type Fold struct {
+	order []string
+	jobs  map[string]*JobState
+}
+
+// NewFold returns an empty accumulator; pass its Add to Open.
+func NewFold() *Fold {
+	return &Fold{jobs: make(map[string]*JobState)}
+}
+
+// Add folds one record (usable directly as Open's replay callback).
+func (f *Fold) Add(rec Record) {
+	if rec.JobID == "" {
+		return
+	}
+	st, ok := f.jobs[rec.JobID]
+	if !ok {
+		st = &JobState{JobID: rec.JobID}
+		f.jobs[rec.JobID] = st
+		f.order = append(f.order, rec.JobID)
+	}
+	st.LastType = rec.Type
+	if rec.Terminal() {
+		st.Terminal = true
+	}
+	if rec.Type == TypeAccepted && len(rec.Request) > 0 {
+		st.Request = rec.Request
+	}
+	if rec.CheckpointKey != "" {
+		st.CheckpointKey = rec.CheckpointKey
+	}
+}
+
+// Orphans returns the jobs whose journal history never reached a
+// terminal record — the ones a restarted server must re-enqueue — in
+// acceptance order.
+func (f *Fold) Orphans() []*JobState {
+	var out []*JobState
+	for _, id := range f.order {
+		if st := f.jobs[id]; !st.Terminal {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Len returns the number of distinct jobs folded.
+func (f *Fold) Len() int { return len(f.jobs) }

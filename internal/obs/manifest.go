@@ -49,6 +49,11 @@ type Manifest struct {
 	// key of irfusion/run-manifest/v1 (absent = standalone process), so
 	// its addition needs no schema-version bump.
 	Shard string `json:"shard,omitempty"`
+	// Resume records the run's checkpoint-resume attempt: provenance,
+	// checkpoint key, donor progress, and the residual-guard verdict.
+	// Optional key of irfusion/run-manifest/v1 (absent = no resume
+	// attempted), so its addition needs no schema-version bump.
+	Resume *ResumeSection `json:"resume,omitempty"`
 }
 
 // CacheSection aggregates the run's artifact-cache interactions for
@@ -135,6 +140,10 @@ func (r *Recorder) Manifest(kind string, config any) *Manifest {
 			}
 		}
 		m.Cache = cs
+	}
+	if r.resume != nil {
+		rs := *r.resume
+		m.Resume = &rs
 	}
 
 	// Derived pool-utilization gauge from the well-known parallel.*
@@ -239,6 +248,19 @@ func (m *Manifest) Validate() error {
 				hits, misses, warms, stale, stores)
 		}
 	}
+	if rs := m.Resume; rs != nil {
+		switch rs.Outcome {
+		case ResumeAccepted, ResumeRejected:
+		default:
+			return fmt.Errorf("obs: resume section has unknown outcome %q", rs.Outcome)
+		}
+		if rs.Iter < 0 {
+			return fmt.Errorf("obs: resume section has negative iter %d", rs.Iter)
+		}
+		if rs.Outcome == ResumeAccepted && rs.Iter == 0 {
+			return errors.New("obs: resume accepted a checkpoint at iteration 0 (nothing to resume)")
+		}
+	}
 	return nil
 }
 
@@ -288,6 +310,10 @@ func (m *Manifest) Summary() string {
 	if c := m.Cache; c != nil {
 		fmt.Fprintf(&b, "cache: %d hit(s), %d miss(es), %d warm start(s), %d stale, %d store(s)\n",
 			c.Hits, c.Misses, c.WarmStarts, c.Stale, c.Stores)
+	}
+	if rs := m.Resume; rs != nil {
+		fmt.Fprintf(&b, "resume: %s from %s at iteration %d (key %s)\n",
+			rs.Outcome, orDash(rs.From), rs.Iter, orDash(rs.CheckpointKey))
 	}
 	par := m.Counters["parallel.for.parallel"] + m.Counters["parallel.do.parallel"]
 	ser := m.Counters["parallel.for.serial"] + m.Counters["parallel.do.serial"]

@@ -209,6 +209,7 @@ type Recorder struct {
 	epochs     []EpochRecord
 	degrads    []Degradation
 	cacheEvts  []CacheEvent
+	resume     *ResumeSection
 }
 
 // NewRecorder returns a recorder whose manifest will report global
@@ -363,6 +364,44 @@ func (r *Recorder) RecordCacheEvent(e CacheEvent) {
 	e.Delta = sanitize(e.Delta)
 	r.mu.Lock()
 	r.cacheEvts = append(r.cacheEvts, e)
+	r.mu.Unlock()
+}
+
+// Resume outcomes, the vocabulary of ResumeSection.Outcome.
+const (
+	// ResumeAccepted: the checkpoint passed the residual guard and the
+	// solve continued from its iterate.
+	ResumeAccepted = "resumed"
+	// ResumeRejected: the checkpoint failed the residual guard
+	// (corrupt, stale, or foreign); the solve fell through to the cold
+	// ladder.
+	ResumeRejected = "guard-rejected"
+)
+
+// ResumeSection records a checkpoint-resume attempt of one run: where
+// the checkpoint came from ("restart", "requeue", or a donor shard
+// name), its cache key (abbreviated), how far the donor solve had
+// gotten, and whether the residual guard accepted it. Optional key of
+// irfusion/run-manifest/v1 (absent = no resume was attempted), so its
+// addition needs no schema-version bump.
+type ResumeSection struct {
+	From          string  `json:"from,omitempty"`
+	CheckpointKey string  `json:"checkpoint_key,omitempty"`
+	Iter          int     `json:"iter"`
+	Residual      float64 `json:"residual,omitempty"`
+	Outcome       string  `json:"outcome"`
+}
+
+// RecordResume records the run's checkpoint-resume attempt (last
+// write wins — a run attempts at most one resume, but a guard
+// rejection followed by a cold solve keeps the rejection record).
+func (r *Recorder) RecordResume(rs ResumeSection) {
+	if r == nil {
+		return
+	}
+	rs.Residual = sanitize(rs.Residual)
+	r.mu.Lock()
+	r.resume = &rs
 	r.mu.Unlock()
 }
 

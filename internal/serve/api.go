@@ -15,6 +15,7 @@ import (
 	"irfusion/internal/dataset"
 	"irfusion/internal/faults"
 	"irfusion/internal/grid"
+	"irfusion/internal/journal"
 	"irfusion/internal/obs"
 	"irfusion/internal/pgen"
 	"irfusion/internal/solver"
@@ -50,6 +51,12 @@ const (
 	// receiving shard records it in the job's run manifest (counter
 	// serve.handoff, config key handoff_from).
 	HeaderHandoffFrom = "X-Irfusion-Handoff-From"
+	// HeaderResumeFrom names where a resumable checkpoint for this
+	// request may have come from (the donor shard on a gateway handoff).
+	// When the solve actually resumes from a checkpoint, the value is
+	// recorded as the manifest resume section's "from" — proving whose
+	// iterations the resumed solve inherited.
+	HeaderResumeFrom = "X-Irfusion-Resume-From"
 )
 
 // AnalyzeRequest is the body of POST /v1/analyze. Exactly one of
@@ -191,6 +198,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		ctx:         ctx,
 		design:      design,
 		handoffFrom: r.Header.Get(HeaderHandoffFrom),
+		resumeFrom:  r.Header.Get(HeaderResumeFrom),
 	}
 	s.reg.add(j)
 
@@ -202,6 +210,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "job queue full or server draining")
 		return
 	}
+	// Journal the acceptance only after the submit succeeded — a
+	// rejected submission needs no recovery — and before acknowledging
+	// the client, so an acknowledged job is always replayable.
+	s.journalAccepted(j)
 
 	if req.Async {
 		w.Header().Set("Location", "/v1/jobs/"+j.ID())
@@ -297,6 +309,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"jobs":           s.reg.counts(),
 		"breakers":       s.breakers.States(),
 		"fault_spec":     faults.Active().Spec(),
+		"journal": map[string]any{
+			"enabled":         s.journal != nil,
+			"error":           s.journalErr,
+			"replay_segments": s.replayStats.Segments,
+			"replay_records":  s.replayStats.Records,
+			"torn_bytes":      s.replayStats.TornBytes,
+			"corrupt":         s.replayStats.Corrupt,
+		},
 	})
 }
 
@@ -459,11 +479,21 @@ func PadVoltage(nl *spice.Netlist) float64 {
 // produce isolated run manifests.
 func (s *Server) runJob(j *Job) {
 	if !j.markRunning() {
-		return // cancelled while queued; already finalized under j.mu
+		// Cancelled while queued; already finalized under j.mu. Still a
+		// terminal transition the journal must learn about, or replay
+		// would resurrect the cancelled job.
+		s.journalTerminal(j, journal.TypeCancelled, "cancelled before start")
+		return
 	}
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
-	defer j.cancel() // release the context's timer resources
+	requeued := false
+	defer func() {
+		if !requeued {
+			j.cancel() // release the context's timer resources
+		}
+	}()
+	s.journalAppend(j.ctx, journal.Record{Type: journal.TypeStarted, JobID: j.id})
 
 	rec := obs.NewRecorder()
 	rec.Add("serve.job", 1)
@@ -494,8 +524,35 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	result, err := s.executeProtected(ctx, j)
+
+	// Requeue-once after a worker panic: the job goes back into the
+	// queue (journaled with its last checkpoint key, so even a crash
+	// between here and the retry keeps it recoverable) and the retry
+	// resumes from the checkpoint instead of iteration 0. Only the
+	// first panic earns a retry — a second one fails the job for real,
+	// so a deterministically-crashing request cannot loop forever.
+	if errors.Is(err, errWorkerPanic) && !j.cancelled.Load() && j.ctx.Err() == nil &&
+		j.requeues.Add(1) == 1 && j.requeueForRetry() {
+		j.resumeFrom = fromRequeue
+		s.journalAppend(j.ctx, journal.Record{
+			Type: journal.TypeRequeued, JobID: j.id,
+			CheckpointKey: j.ckptKey, Detail: err.Error(),
+		})
+		if s.submit(j) {
+			cRequeues.Inc()
+			requeued = true
+			return
+		}
+		// Queue full or draining: no retry slot; fail below as usual.
+	}
+
 	manifest := rec.Manifest("serve.analyze", cfgMap)
 	manifest.Shard = s.cfg.Name
+	if manifest.Resume != nil && manifest.Resume.From == "" {
+		// The core layer records that a resume happened but cannot know
+		// where the checkpoint came from; the serving layer can.
+		manifest.Resume.From = j.resumeFrom
+	}
 	if !j.req.OmitManifest {
 		if result == nil {
 			result = &AnalyzeResult{Mode: j.req.Mode, Design: j.design.Name}
@@ -507,13 +564,16 @@ func (s *Server) runJob(j *Job) {
 	case err == nil:
 		cDone.Inc()
 		j.finalize(StatusDone, "", result)
+		s.journalTerminal(j, journal.TypeFinished, "")
 	case j.cancelled.Load():
 		cCancelled.Inc()
 		j.finalizeKind(StatusCancelled, err.Error(), errKindCancelled, result)
+		s.journalTerminal(j, journal.TypeCancelled, err.Error())
 	default:
 		cFailed.Inc()
 		kind, msg := failureKind(err)
 		j.finalizeKind(StatusFailed, msg, kind, result)
+		s.journalTerminal(j, journal.TypeFailed, kind)
 	}
 }
 
@@ -638,7 +698,9 @@ func (s *Server) executeUncached(ctx context.Context, j *Job) (*AnalyzeResult, e
 	na := &core.NumericalAnalyzer{
 		Iters: req.Iters, Resolution: res, Precond: req.Precond,
 		Precision: req.Precision, Format: req.Format,
-		Resilience: s.resilience(),
+		Resilience:      s.resilience(),
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		OnCheckpoint:    s.checkpointNotify(j),
 	}
 	m, rt, resid, err := na.AnalyzeCtx(ctx, d)
 	if err != nil {

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +45,21 @@ type Job struct {
 	fp          string // design fingerprint; set by runJob when caching is on
 	handoffFrom string // shard this job failed over from; "" normally
 	submitted   time.Time
+
+	// resumeFrom is the provenance recorded when this job's solve
+	// resumes from a checkpoint: "restart" (journal replay), "requeue"
+	// (post-panic retry), or a shard name (gateway handoff header).
+	// Written before (re-)submission; the queue handoff orders it
+	// before the worker's read.
+	resumeFrom string
+	// ckptKey is the key of the job's latest durably persisted
+	// checkpoint. Written by the checkpoint notify hook on the worker
+	// goroutine running the solve and read on the same goroutine (or
+	// across a queue handoff), so no lock is needed.
+	ckptKey string
+	// requeues counts post-panic retries; only the first panic earns
+	// one.
+	requeues atomic.Int32
 
 	ctx       context.Context // job lifetime (timeout + server shutdown)
 	cancel    context.CancelFunc
@@ -107,6 +124,20 @@ func (j *Job) Cancel() bool {
 	}
 	j.mu.Unlock()
 	j.cancel()
+	return true
+}
+
+// requeueForRetry transitions running → queued for the one-shot retry
+// after a worker panic. It returns false when the job is no longer
+// running (cancelled or otherwise finalized during the run), in which
+// case the caller must not resubmit it.
+func (j *Job) requeueForRetry() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusRunning {
+		return false
+	}
+	j.status = StatusQueued
 	return true
 }
 
@@ -220,6 +251,23 @@ func (r *registry) add(j *Job) string {
 	r.order = append(r.order, id)
 	r.evictLocked()
 	return id
+}
+
+// addWithID registers a journal-recovered job under its original id
+// (so clients polling a pre-crash job id find it again) and bumps the
+// id counter past the recovered number so fresh ids never collide.
+func (r *registry) addWithID(j *Job, id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.id = id
+	r.jobs[id] = j
+	r.order = append(r.order, id)
+	if i := strings.LastIndex(id, "job-"); i >= 0 {
+		if n, err := strconv.ParseInt(id[i+len("job-"):], 10, 64); err == nil && n > r.next {
+			r.next = n
+		}
+	}
+	r.evictLocked()
 }
 
 // get looks a job up by id.

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"irfusion/internal/cache"
+	"irfusion/internal/journal"
+)
+
+// Journal glue: the serving layer's half of crash durability. The
+// journal package owns the on-disk write-ahead log; this file decides
+// *what* gets journaled (one record per job lifecycle transition, one
+// blob per solver checkpoint) and how a restarted process turns the
+// replayed history back into queued jobs.
+
+// Provenance values recorded in a manifest's resume section
+// (obs.ResumeSection.From) by this layer. A gateway handoff carries a
+// shard name in HeaderResumeFrom instead.
+const (
+	fromRestart = "restart" // re-enqueued by journal replay after a process restart
+	fromRequeue = "requeue" // re-enqueued on the same process after a worker panic
+)
+
+// openJournal opens (and replays) the configured journal directory.
+// Failure to open never prevents startup — the server runs without
+// durability and reports the problem on /healthz — because a service
+// that refuses to start over a damaged journal turns one crash into
+// an outage.
+func (s *Server) openJournal() {
+	fold := journal.NewFold()
+	jr, stats, err := journal.Open(s.cfg.JournalDir, journal.Options{Sync: s.cfg.JournalSync}, fold.Add)
+	if err != nil {
+		s.journalErr = err.Error()
+		cJournalErr.Inc()
+		return
+	}
+	s.journal = jr
+	s.replayStats = stats
+	s.recoverOrphans(fold)
+}
+
+// recoverOrphans re-enqueues every job whose journal history never
+// reached a terminal record, under its original id, in acceptance
+// order. A job with a checkpoint record first has its blob reloaded
+// into the artifact cache so the resume rung continues the solve from
+// where the crashed process left it. Replay is idempotent: finished,
+// cancelled, and failed jobs are skipped by the fold, and a job this
+// pass fails to recover gets a terminal record so the next restart
+// skips it too.
+func (s *Server) recoverOrphans(fold *journal.Fold) {
+	for _, st := range fold.Orphans() {
+		if len(st.Request) == 0 {
+			continue // accepted record never made it; nothing to re-run
+		}
+		var req AnalyzeRequest
+		if err := json.Unmarshal(st.Request, &req); err != nil {
+			s.journalAppend(s.baseCtx, journal.Record{
+				Type: journal.TypeFailed, JobID: st.JobID,
+				Detail: fmt.Sprintf("recovery: undecodable request: %v", err),
+			})
+			continue
+		}
+		design, err := s.prepare(&req)
+		if err != nil {
+			s.journalAppend(s.baseCtx, journal.Record{
+				Type: journal.TypeFailed, JobID: st.JobID,
+				Detail: fmt.Sprintf("recovery: %v", err),
+			})
+			continue
+		}
+		if st.CheckpointKey != "" {
+			s.restoreCheckpoint(st.CheckpointKey)
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		timeout := s.cfg.DefaultTimeout
+		if req.TimeoutMS > 0 {
+			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+		}
+		j := &Job{
+			req:        req,
+			submitted:  time.Now(),
+			cancel:     cancel,
+			done:       make(chan struct{}),
+			status:     StatusQueued,
+			ctx:        ctx,
+			design:     design,
+			resumeFrom: fromRestart,
+			ckptKey:    st.CheckpointKey,
+		}
+		s.reg.addWithID(j, st.JobID)
+		if !s.submit(j) {
+			cancel()
+			j.finalizeKind(StatusFailed, "recovery: queue full", "", nil)
+			s.journalAppend(s.baseCtx, journal.Record{
+				Type: journal.TypeFailed, JobID: st.JobID, Detail: "recovery: queue full",
+			})
+			continue
+		}
+		cRecovered.Inc()
+		cRequeues.Inc()
+		s.journalAppend(s.baseCtx, journal.Record{
+			Type: journal.TypeRequeued, JobID: st.JobID,
+			CheckpointKey: st.CheckpointKey, Detail: fromRestart,
+		})
+	}
+}
+
+// restoreCheckpoint reloads a journaled checkpoint blob into the
+// artifact cache so the resume rung (core.RungAMGResume) finds it when
+// the recovered job re-runs. Any damage — missing blob, CRC mismatch,
+// undecodable artifact — is counted and otherwise ignored: the job
+// simply solves cold.
+func (s *Server) restoreCheckpoint(key string) {
+	if s.cache == nil {
+		return
+	}
+	data, err := s.journal.LoadBlob(key)
+	if err != nil {
+		cJournalErr.Inc()
+		return
+	}
+	art, err := cache.DecodeCheckpoint(data)
+	if err != nil {
+		cJournalErr.Inc()
+		return
+	}
+	cache.StoreCheckpoint(s.baseCtx, s.cache, art)
+}
+
+// journalAppend writes one lifecycle record; ctx scopes fault
+// injection (the journal.append site). Append failures are counted,
+// not propagated: the serving path prefers availability over
+// durability, and the loss is visible in serve.journal.errors.
+func (s *Server) journalAppend(ctx context.Context, rec journal.Record) {
+	if s.journal == nil || s.crashed.Load() {
+		return
+	}
+	if err := s.journal.Append(ctx, rec); err != nil {
+		cJournalErr.Inc()
+	}
+}
+
+// journalAccepted records a job's admission, carrying the full request
+// body so replay can re-enqueue the job after a crash.
+func (s *Server) journalAccepted(j *Job) {
+	if s.journal == nil {
+		return
+	}
+	body, err := json.Marshal(&j.req)
+	if err != nil {
+		cJournalErr.Inc()
+		return
+	}
+	s.journalAppend(j.ctx, journal.Record{
+		Type: journal.TypeAccepted, JobID: j.id, Request: body,
+	})
+}
+
+// journalTerminal records a job's terminal transition, carrying its
+// last checkpoint key so an operator can correlate the blob.
+func (s *Server) journalTerminal(j *Job, typ, detail string) {
+	s.journalAppend(j.ctx, journal.Record{
+		Type: typ, JobID: j.id, CheckpointKey: j.ckptKey, Detail: detail,
+	})
+}
+
+// checkpointNotify returns the durable-persistence hook handed to the
+// core analyzer: each solver checkpoint is saved as a blob, then
+// recorded in the journal under its key. Nil when the journal is off —
+// checkpoints then live only in the in-process cache (still enough for
+// same-process requeue and shared-cache cluster handoff).
+func (s *Server) checkpointNotify(j *Job) func(key string, encoded []byte) {
+	if s.journal == nil {
+		return nil
+	}
+	return func(key string, encoded []byte) {
+		if s.crashed.Load() {
+			return
+		}
+		if err := s.journal.SaveBlob(key, encoded); err != nil {
+			cJournalErr.Inc()
+			return
+		}
+		j.ckptKey = key
+		s.journalAppend(j.ctx, journal.Record{
+			Type: journal.TypeCheckpoint, JobID: j.id, CheckpointKey: key,
+		})
+	}
+}

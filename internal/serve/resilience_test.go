@@ -100,14 +100,17 @@ func TestServeLadderExhausted503(t *testing.T) {
 	}
 }
 
-// TestServeWorkerPanicRecovered: an analysis that panics must cost one
-// 500 — with the partial manifest attached and the serve.panics
-// counter bumped — and must not kill the worker goroutine: the next
-// request on the same single-worker server has to succeed.
+// TestServeWorkerPanicRecovered: a panicking analysis earns exactly
+// one requeue, so only a *repeated* panic costs the client a 500 —
+// with the manifest attached, serve.panics bumped twice, and exactly
+// one requeue recorded — and neither panic may kill the worker
+// goroutine: the next request on the same single-worker server has to
+// succeed.
 func TestServeWorkerPanicRecovered(t *testing.T) {
-	withGlobalFaults(t, "serve.worker:panic:times=1")
+	withGlobalFaults(t, "serve.worker:panic:times=2")
 	_, ts := newTestServer(t, Config{Workers: 1})
 	before := obs.GlobalCounters()["serve.panics"]
+	beforeRq := obs.GlobalCounters()["serve.requeues"]
 
 	code, b := post(t, ts, "/v1/analyze", pgenBody(24, 24, `"iters": 3, "precond": "ssor"`))
 	if code != http.StatusInternalServerError {
@@ -120,14 +123,43 @@ func TestServeWorkerPanicRecovered(t *testing.T) {
 	if v.Result == nil || v.Result.Manifest == nil {
 		t.Fatal("panicked job lost its manifest")
 	}
-	if got := obs.GlobalCounters()["serve.panics"]; got != before+1 {
-		t.Errorf("serve.panics %d, want %d", got, before+1)
+	if got := obs.GlobalCounters()["serve.panics"]; got != before+2 {
+		t.Errorf("serve.panics %d, want %d (first panic requeues, second fails)", got, before+2)
 	}
-	// times=1: the injector is spent; the lone worker must still be
+	if got := obs.GlobalCounters()["serve.requeues"]; got != beforeRq+1 {
+		t.Errorf("serve.requeues %d, want %d (exactly one retry per job)", got, beforeRq+1)
+	}
+	// times=2: the injector is spent; the lone worker must still be
 	// alive to serve this.
 	code, b = post(t, ts, "/v1/analyze", pgenBody(25, 24, `"iters": 3, "precond": "ssor"`))
 	if code != http.StatusOK {
 		t.Fatalf("post-panic request status %d, want 200: %s", code, b)
+	}
+}
+
+// TestServeWorkerPanicRequeuedOnce: a single injected panic must be
+// invisible to the client — the job is requeued, the retry (injector
+// spent) succeeds, and the response is a 200 with serve.requeues
+// incremented. This is the regression test for the requeue-once path.
+func TestServeWorkerPanicRequeuedOnce(t *testing.T) {
+	withGlobalFaults(t, "serve.worker:panic:times=1")
+	_, ts := newTestServer(t, Config{Workers: 1})
+	beforePanics := obs.GlobalCounters()["serve.panics"]
+	beforeRq := obs.GlobalCounters()["serve.requeues"]
+
+	code, b := post(t, ts, "/v1/analyze", pgenBody(26, 24, `"iters": 3, "precond": "ssor"`))
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200 (panic should have been retried): %s", code, b)
+	}
+	v := decodeJob(t, b)
+	if v.Status != StatusDone {
+		t.Fatalf("status %q, error %q", v.Status, v.Error)
+	}
+	if got := obs.GlobalCounters()["serve.panics"]; got != beforePanics+1 {
+		t.Errorf("serve.panics %d, want %d", got, beforePanics+1)
+	}
+	if got := obs.GlobalCounters()["serve.requeues"]; got != beforeRq+1 {
+		t.Errorf("serve.requeues %d, want %d", got, beforeRq+1)
 	}
 }
 

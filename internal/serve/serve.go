@@ -31,6 +31,7 @@ import (
 
 	"irfusion/internal/cache"
 	"irfusion/internal/core"
+	"irfusion/internal/journal"
 	"irfusion/internal/obs"
 	"irfusion/internal/parallel"
 )
@@ -46,6 +47,17 @@ var (
 	cCancelled = obs.GlobalCounter("serve.jobs.cancelled")
 	cRejected  = obs.GlobalCounter("serve.jobs.rejected")
 	cPanics    = obs.GlobalCounter("serve.panics")
+	// cRequeues counts jobs re-enqueued after a worker panic (one
+	// retry per job before failing for real) and jobs re-enqueued by
+	// journal replay after a restart.
+	cRequeues = obs.GlobalCounter("serve.requeues")
+	// cRecovered counts orphaned jobs re-enqueued from the journal at
+	// startup.
+	cRecovered = obs.GlobalCounter("serve.recovered")
+	// cJournalErr counts journal appends that failed; the service
+	// keeps running (availability over durability) but the counter
+	// makes the loss visible.
+	cJournalErr = obs.GlobalCounter("serve.journal.errors")
 )
 
 // Config sizes the service. Zero values take the documented defaults.
@@ -102,6 +114,22 @@ type Config struct {
 	// DisableCache turns the artifact cache off: every request runs
 	// the full cold path.
 	DisableCache bool
+	// JournalDir enables the write-ahead job journal: every job
+	// lifecycle transition is appended there, solver checkpoints are
+	// persisted as blobs beside it, and a restarted server replays the
+	// directory to re-enqueue orphaned jobs (resuming their solves from
+	// the last checkpoint). Empty disables journaling.
+	JournalDir string
+	// JournalSync is the journal fsync policy (journal.SyncAlways,
+	// SyncInterval, or SyncNone). Default SyncAlways.
+	JournalSync string
+	// CheckpointEvery is the solver checkpoint interval in PCG
+	// iterations (mixed-precision refinement rounds): every N-th
+	// iterate of a converged cached solve is snapshotted into the
+	// artifact cache — and, when the journal is enabled, persisted as a
+	// durable blob — so a crashed, panicked, or handed-off solve can
+	// resume instead of restarting. Default 32; negative disables.
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +154,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 32
+	}
 	return c
 }
 
@@ -139,6 +170,11 @@ type Server struct {
 	start    time.Time
 	breakers *core.BreakerSet // per-rung breakers shared by all jobs
 	cache    *cache.Cache     // per-process artifact cache; nil when disabled
+
+	journal     *journal.Journal // write-ahead job journal; nil when disabled
+	journalErr  string           // journal open failure; serving continues without durability
+	replayStats journal.ReplayStats
+	crashed     atomic.Bool // Crash() suppresses journal writes to simulate a hard kill
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
@@ -182,6 +218,12 @@ func New(cfg Config) *Server {
 		cfg.Analyzer.Resilience = res
 	}
 	s.routes()
+	if cfg.JournalDir != "" {
+		// Open (and replay) the journal before the workers start:
+		// recovered orphans are re-enqueued here, so the workers' first
+		// pulls already see them — ahead of any new submissions.
+		s.openJournal()
+	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -254,11 +296,46 @@ func (s *Server) Close(ctx context.Context) error {
 	select {
 	case <-done:
 		s.baseCancel()
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
 		s.baseCancel() // force-cancel in-flight solves
 		<-done
+		s.closeJournal()
 		return ctx.Err()
+	}
+}
+
+// closeJournal syncs and closes the journal after the workers have
+// drained (so every terminal record has been appended first).
+func (s *Server) closeJournal() {
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			cJournalErr.Inc()
+		}
+	}
+}
+
+// Crash simulates a hard process kill for restart testing: journal
+// writes are suppressed first (a dying process never writes its
+// terminal records — that asymmetry is exactly what replay recovers
+// from), then every in-flight context is cancelled and the call
+// returns once the workers have exited. The journal directory is left
+// holding exactly what a kill -9 mid-solve would: accepted, started,
+// and checkpoint records with no terminal record after them.
+func (s *Server) Crash() {
+	s.crashed.Store(true)
+	s.submitMu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.submitMu.Unlock()
+	s.baseCancel() // in-flight solvers notice within one iteration
+	s.workers.Wait()
+	if s.journal != nil {
+		_ = s.journal.Close() // release the fd; appends were already suppressed
 	}
 }
 

@@ -165,6 +165,13 @@ func MPPCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m32 Preconditi
 			res.History = append(res.History, rel)
 		}
 		res.Residual = rel
+		// Checkpoint once per completed refinement round: rounds are the
+		// unit of progress here (each spans ~mpInnerIters inner PCG
+		// iterations), so the iteration-interval knob just gates whether
+		// checkpointing is on.
+		if opts.CheckpointSink != nil && opts.CheckpointEvery > 0 {
+			opts.CheckpointSink.SaveCheckpoint(snapshot(x, res.Iterations, rel, res.History, opts, obs.PrecisionMixed))
+		}
 		if rel == 0 || rel < opts.Tol { //irfusion:exact an exactly zero residual is solved; the tolerance handles everything else
 			res.Converged = true
 			return res, nil

@@ -110,6 +110,15 @@ type Options struct {
 	// performance knob; the resolved format is reported in the solve
 	// record.
 	Format string
+	// CheckpointEvery, when positive and CheckpointSink is set, makes
+	// the iteration loop snapshot the solve (iterate, iteration count,
+	// residual history tail) every CheckpointEvery completed
+	// iterations, so a crashed or handed-off solve can resume from the
+	// last snapshot instead of iteration 0 (see checkpoint.go).
+	CheckpointEvery int
+	// CheckpointSink receives the periodic snapshots. Nil disables
+	// checkpointing regardless of CheckpointEvery.
+	CheckpointSink CheckpointSink
 }
 
 // DefaultOptions returns a converged-solve configuration.
@@ -294,6 +303,11 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 					r[0] = math.NaN()
 				case faults.ActInf:
 					r[0] = math.Inf(1)
+				case faults.ActPanic:
+					// Die mid-iteration like a real crash would: the
+					// restart-recovery tests use this (after= selects the
+					// iteration) to kill a solve after checkpoints exist.
+					panic(fmt.Sprintf("faults: injected panic at %s iteration %d", faults.SitePCG, k))
 				}
 			}
 		}
@@ -329,6 +343,9 @@ func PCGCtx(ctx context.Context, a *sparse.CSR, x, b []float64, m Preconditioner
 		}
 		if opts.Record {
 			res.History = append(res.History, rel)
+		}
+		if opts.CheckpointSink != nil && opts.CheckpointEvery > 0 && res.Iterations%opts.CheckpointEvery == 0 {
+			opts.CheckpointSink.SaveCheckpoint(snapshot(x, res.Iterations, rel, res.History, opts, obs.PrecisionFull))
 		}
 		if rel == 0 || (opts.Tol > 0 && rel < opts.Tol) { //irfusion:exact an exactly zero residual is solved; Tol=0 budget solves must not stop on merely-small residuals
 			res.Converged = true
