@@ -8,18 +8,26 @@ GO ?= go
 # machines and miniature test grids.
 RACE_ENV = IRFUSION_WORKERS=4 IRFUSION_PAR_THRESHOLD=1
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-smoke bench-check bench-rebaseline manifest-smoke fuzz-smoke chaos-smoke cluster-smoke mp-oracle restart-smoke docs-check cover-check
+.PHONY: all fmt fmt-check vet lint lint-rebaseline build test race bench bench-smoke bench-check bench-rebaseline manifest-smoke fuzz-smoke chaos-smoke cluster-smoke mp-oracle restart-smoke docs-check cover-check
 
 all: fmt-check vet lint build test
 
 # The project's own static-analysis pass (internal/lint): hotpath
 # no-allocation discipline, context propagation, hook resolution,
-# %w wrapping, float equality, and goroutine containment. Findings
-# not recorded in lint.baseline fail the build; regenerate the
-# baseline only for reviewed, accepted findings with
-#   go run ./cmd/irfusionlint -baseline lint.baseline -write-baseline
+# %w wrapping, float equality, goroutine containment, and the four
+# CFG-based dataflow rules (locksafe, ctxleak, atomicmix, sitedrift —
+# see docs/LINTING.md). Findings not recorded in lint.baseline fail
+# the build, a SARIF copy is written for code-scanning upload, and the
+# run fails if analysis wall clock exceeds 3x the committed
+# lint.budget seconds. Rebaseline only for reviewed, accepted findings
+# with `make lint-rebaseline`.
+LINT_SARIF ?= /tmp/irfusionlint.sarif
+
 lint:
-	$(GO) run ./cmd/irfusionlint -baseline lint.baseline
+	$(GO) run ./cmd/irfusionlint -baseline lint.baseline -budget lint.budget -sarif $(LINT_SARIF)
+
+lint-rebaseline: ## rewrite lint.baseline from current findings (review the diff before committing)
+	$(GO) run ./cmd/irfusionlint -update-baseline
 
 fmt: ## rewrite sources with gofmt
 	gofmt -w .

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The one-command rebaseline contract: -update-baseline followed by a
+// plain run against the written baseline is clean, exit 0. Exercises
+// the full pipeline (real tree analysis, SARIF and JSON emission, and
+// the budget gate wiring) in two runs.
+func TestUpdateBaselineThenCleanRun(t *testing.T) {
+	tmp := t.TempDir()
+	bl := filepath.Join(tmp, "lint.baseline")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "-baseline", bl, "-update-baseline"}, &out, &errOut); code != 0 {
+		t.Fatalf("-update-baseline exit %d\nstderr: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(bl); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	sarif := filepath.Join(tmp, "lint.sarif")
+	budget := filepath.Join(tmp, "lint.budget")
+	// Generous committed value: this asserts the gate is wired, the
+	// real perf budget lives in the repo's committed lint.budget.
+	if err := os.WriteFile(budget, []byte("# test budget\n600\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	code := run([]string{"-C", "../..", "-baseline", bl, "-sarif", sarif, "-budget", budget, "-json"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run against fresh baseline exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("-json output does not decode: %v", err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("findings after rebaseline: %v", rep.Findings)
+	}
+	if rep.Baselined != rep.Total {
+		t.Errorf("baselined %d != total %d", rep.Baselined, rep.Total)
+	}
+	if rep.ElapsedSeconds <= 0 {
+		t.Errorf("elapsed_seconds %v, want > 0", rep.ElapsedSeconds)
+	}
+
+	data, err := os.ReadFile(sarif)
+	if err != nil {
+		t.Fatalf("SARIF not written: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF does not decode: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 {
+		t.Errorf("unexpected SARIF shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+}
+
+func TestBudgetFileRoundTrip(t *testing.T) {
+	tmp := t.TempDir()
+	path := filepath.Join(tmp, "lint.budget")
+	if err := writeBudgetFile(path, 2.37); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBudgetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.37 {
+		t.Errorf("round trip %v, want 2.37", got)
+	}
+	for _, bad := range []string{"", "# only comments\n", "zero\n", "-1\n", "0\n"} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readBudgetFile(path); err == nil {
+			t.Errorf("readBudgetFile accepted %q", bad)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-write-baseline"}, &out, &errOut); code != 2 {
+		t.Errorf("-write-baseline without -baseline: exit %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-write-budget"}, &out, &errOut); code != 2 {
+		t.Errorf("-write-budget without -budget: exit %d, want 2", code)
+	}
+}

@@ -54,20 +54,39 @@ import (
 	"irfusion/internal/obs"
 )
 
+// gateSpec declares one gate flag and the top-level obs.Manifest JSON
+// key it inspects. irfusionlint's sitedrift rule cross-checks this
+// table against the Manifest struct tags: a gate naming a section
+// that no longer exists (e.g. after a manifest field rename) and a
+// flag registered outside the table are both lint errors, so the
+// gates cannot silently drift away from the manifest schema.
+type gateSpec struct {
+	flag    string // command-line flag name
+	section string // obs.Manifest JSON key the gate inspects
+	usage   string
+}
+
+var gates = []gateSpec{
+	{"degraded", "degradation", "require at least one degradation record showing a fallback, retry, or breaker skip"},
+	{"cache", "cache", "require a cache section with at least one store and one hit, warm start, or stale rejection"},
+	{"mp", "solves", "require at least one solve record with precision \"mixed\""},
+	{"allow-hit", "cache", "waive the solve/dispatch requirements when the cache section shows at least one hit (zero-solve cache-HIT manifests)"},
+	{"resume", "resume", "require a resume section with outcome \"resumed\" and a positive starting iteration"},
+	{"shard", "shard", "require the manifest's shard identity to equal this name"},
+}
+
 func main() {
 	log.SetFlags(0)
-	degraded := flag.Bool("degraded", false,
-		"require at least one degradation record showing a fallback, retry, or breaker skip")
-	wantCache := flag.Bool("cache", false,
-		"require a cache section with at least one store and one hit, warm start, or stale rejection")
-	wantShard := flag.String("shard", "",
-		"require the manifest's shard identity to equal this name")
-	wantMP := flag.Bool("mp", false,
-		"require at least one solve record with precision \"mixed\"")
-	allowHit := flag.Bool("allow-hit", false,
-		"waive the solve/dispatch requirements when the cache section shows at least one hit (zero-solve cache-HIT manifests)")
-	wantResume := flag.Bool("resume", false,
-		"require a resume section with outcome \"resumed\" and a positive starting iteration")
+	boolGates := map[string]*bool{}
+	var shard string
+	for _, g := range gates {
+		if g.flag == "shard" {
+			// The one non-boolean gate: it carries the required value.
+			flag.StringVar(&shard, g.flag, "", g.usage)
+			continue
+		}
+		boolGates[g.flag] = flag.Bool(g.flag, false, g.usage)
+	}
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-degraded] [-cache] [-mp] [-allow-hit] [-resume] [-shard NAME] <manifest.json>")
 		flag.PrintDefaults()
@@ -79,8 +98,8 @@ func main() {
 	}
 	path := flag.Arg(0)
 	opts := checkOptions{
-		degraded: *degraded, cache: *wantCache, mp: *wantMP,
-		allowHit: *allowHit, resume: *wantResume, shard: *wantShard,
+		degraded: *boolGates["degraded"], cache: *boolGates["cache"], mp: *boolGates["mp"],
+		allowHit: *boolGates["allow-hit"], resume: *boolGates["resume"], shard: shard,
 	}
 	if err := check(path, opts); err != nil {
 		log.Fatalf("manifestcheck: %s: %v", path, err)

@@ -96,6 +96,27 @@ const (
 	SiteCheckpointRestore = "checkpoint.restore" // checkpoint restore in internal/cache
 )
 
+// knownSites is the closed registry Parse validates spec sites
+// against: a typo'd site in IRFUSION_FAULTS used to be accepted
+// silently and simply never fire, running a chaos suite that injected
+// nothing. irfusionlint's sitedrift rule keeps this map and the Site*
+// constants in lockstep (both directions) and flags Fire calls naming
+// sites outside it.
+var knownSites = map[string]bool{
+	SitePCG:               true,
+	SiteAMGSetup:          true,
+	SiteDatasetBuild:      true,
+	SiteFeatures:          true,
+	SiteServeWorker:       true,
+	SiteCacheLookup:       true,
+	SiteCacheDelta:        true,
+	SiteClusterProbe:      true,
+	SiteClusterForward:    true,
+	SiteJournalAppend:     true,
+	SiteCheckpointSave:    true,
+	SiteCheckpointRestore: true,
+}
+
 // Actions a fired fault can request. The call site interprets them;
 // unknown actions at a site are ignored (Fire returns them anyway so
 // new actions can be added without touching the parser).
@@ -226,6 +247,9 @@ func parseRule(clause string) (*rule, error) {
 		site:   strings.TrimSpace(parts[0]),
 		action: strings.TrimSpace(parts[1]),
 		p:      1,
+	}
+	if !knownSites[r.site] {
+		return nil, fmt.Errorf("faults: clause %q names unknown site %q; known sites are the faults.Site* constants", clause, r.site)
 	}
 	if len(parts) == 3 {
 		for _, kv := range strings.Split(parts[2], ",") {

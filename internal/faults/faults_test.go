@@ -27,6 +27,40 @@ func TestParseRejectsMalformedSpecs(t *testing.T) {
 	}
 }
 
+// Regression: Parse used to accept any site string, so a typo'd spec
+// ran an entire chaos suite that injected nothing. Unknown sites must
+// be rejected against the knownSites registry.
+func TestParseRejectsUnknownSites(t *testing.T) {
+	for _, spec := range []string{
+		"solver.pgc:breakdown", // transposed letters
+		"sovler.pcg:nan:p=0.5",
+		"cache.lookup.exact:stale", // over-qualified
+	} {
+		_, err := Parse(spec)
+		if err == nil || !strings.Contains(err.Error(), "unknown site") {
+			t.Errorf("Parse(%q) = %v; want unknown-site error", spec, err)
+		}
+	}
+	if _, err := Parse(SiteCacheLookup + ":stale"); err != nil {
+		t.Errorf("Parse of known site failed: %v", err)
+	}
+}
+
+// The registry and the Site* constants must agree — the sitedrift lint
+// rule checks the source, this checks the built artifact.
+func TestKnownSitesCoverDeclaredConstants(t *testing.T) {
+	for _, site := range []string{
+		SitePCG, SiteAMGSetup, SiteDatasetBuild, SiteFeatures,
+		SiteServeWorker, SiteCacheLookup, SiteCacheDelta,
+		SiteClusterProbe, SiteClusterForward,
+		SiteJournalAppend, SiteCheckpointSave, SiteCheckpointRestore,
+	} {
+		if !knownSites[site] {
+			t.Errorf("site %q missing from knownSites", site)
+		}
+	}
+}
+
 func TestParseEmptyDisables(t *testing.T) {
 	for _, spec := range []string{"", "  ", "\t"} {
 		in, err := Parse(spec)

@@ -1,0 +1,119 @@
+package lint
+
+// atomicmix: module-wide atomic-access discipline. A variable or
+// struct field whose address is ever passed to a sync/atomic function
+// (atomic.AddInt64(&x, ...), atomic.LoadUint32(&f.n), ...) may not be
+// read or written directly anywhere else in the module — a single
+// plain access next to atomic ones is a data race the race detector
+// only catches when the schedule cooperates, and on weakly ordered
+// hardware a torn or stale read even when it never trips.
+//
+// The rule is two-phase: every package's syntax is scanned for
+// legacy-style atomic calls first (collectAtomic), recording the
+// target objects and sanctioning the idents inside the atomic call's
+// address argument; then every package is re-scanned (checkAtomicMix)
+// and any other use of a recorded object is a finding. Declarations
+// are not uses — `var next int64` followed by only-atomic access is
+// the sanctioned pattern (see parallel.Pool's chunk cursors).
+//
+// The new-style wrapper types (atomic.Int64 and friends) make mixing
+// unrepresentable and are the recommended fix; their method calls are
+// ignored here by construction (they take no address argument).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// collectAtomic records objects accessed through sync/atomic in p.
+func (r *Runner) collectAtomic(p *Package) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := calleeFunc(p.Info, call)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods of the wrapper types: mixing is impossible.
+				return true
+			}
+			addr, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := addressedVar(p.Info, addr.X); obj != nil {
+				if _, seen := r.atomicObjs[obj]; !seen {
+					r.atomicObjs[obj] = call.Pos()
+				}
+			}
+			// Every ident inside the address argument is part of the
+			// atomic access itself, not a plain one.
+			ast.Inspect(addr, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok {
+					r.atomicOK[id] = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// checkAtomicMix reports plain uses of atomically accessed objects.
+// Runs after collectAtomic has seen every package.
+func (r *Runner) checkAtomicMix(p *Package) {
+	if len(r.atomicObjs) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || r.atomicOK[id] {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			atomicAt, tracked := r.atomicObjs[obj]
+			if !tracked {
+				return true
+			}
+			at := r.loader.Fset.Position(atomicAt)
+			r.report(id.Pos(), "atomicmix", "%s is accessed via sync/atomic (%s:%d) but read or written directly here; use sync/atomic for every access, or switch to the atomic.Int64-style wrapper types",
+				obj.Name(), r.relFile(at.Filename), at.Line)
+			return true
+		})
+	}
+}
+
+// addressedVar resolves the operand of an & expression to the
+// variable or field object it names, nil when it is not an
+// ident/field chain (array elements and map values are not tracked).
+func addressedVar(info *types.Info, e ast.Expr) types.Object {
+	var obj types.Object
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[e.Sel]
+		}
+	default:
+		return nil
+	}
+	if v, ok := obj.(*types.Var); ok {
+		return v
+	}
+	return nil
+}

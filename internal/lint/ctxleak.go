@@ -1,0 +1,281 @@
+package lint
+
+// ctxleak: flow-sensitive tracking of the cancel funcs returned by
+// context.WithCancel / WithTimeout / WithDeadline (and their *Cause
+// variants). A cancel func that is not called on every path out of
+// the function, not deferred, and not handed off (stored, passed,
+// returned, or captured) leaks its context: the child stays
+// registered on the parent until the parent itself ends — for a
+// server's base context, that is a per-request memory leak.
+//
+// Three findings:
+//
+//   - the cancel func is discarded outright (`ctx, _ := ...`);
+//   - the variable holding a still-pending cancel is overwritten by a
+//     new WithX call (the exact shape of the serve bug this rule was
+//     built to catch: WithCancel assigned, then conditionally
+//     replaced by WithTimeout, abandoning the first context);
+//   - a pending cancel survives to function exit on some path.
+//
+// Any other use of the variable — passed as an argument, stored in a
+// struct, returned, captured by a function literal — counts as a
+// handoff and ends tracking: responsibility moved somewhere this
+// intraprocedural rule cannot see. Reviewed exceptions use the
+// existing //irfusion:ctx-ok <rationale> line waiver.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+type cancelState int
+
+const (
+	cancelPending cancelState = iota + 1
+	cancelResolved
+)
+
+type cancelInfo struct {
+	state cancelState
+	pos   token.Pos // the WithX call that produced the func
+	fn    string    // "WithCancel", "WithTimeout", ...
+}
+
+// ctxFact maps each tracked cancel variable to its state.
+type ctxFact map[types.Object]cancelInfo
+
+func joinCancels(a, b ctxFact) ctxFact {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(ctxFact, len(a)+len(b))
+	for o, v := range a {
+		out[o] = v
+	}
+	for o, v := range b {
+		old, ok := out[o]
+		if !ok {
+			out[o] = v
+			continue
+		}
+		// Must-resolve semantics: pending on either path wins the merge.
+		merged := old
+		if v.state == cancelPending && old.state != cancelPending {
+			merged = v
+		}
+		if v.state == merged.state && v.pos < merged.pos {
+			merged = v
+		}
+		out[o] = merged
+	}
+	return out
+}
+
+func equalCancels(a, b ctxFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for o, v := range a {
+		if w, ok := b[o]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Runner) checkCtxleak(p *Package) {
+	term := terminalChecker(p.Info)
+	for _, f := range p.Files {
+		funcBodies(f, func(body *ast.BlockStmt) {
+			r.ctxleakBody(p, body, term)
+		})
+	}
+}
+
+func (r *Runner) ctxleakBody(p *Package, body *ast.BlockStmt, term func(*ast.ExprStmt) bool) {
+	if !usesContextWith(p.Info, body) {
+		return
+	}
+	c := buildCFG(body, term)
+	transfer := func(fact ctxFact, blk *block) ctxFact {
+		for _, n := range blk.nodes {
+			fact = r.cancelTransfer(p, fact, n, false)
+		}
+		return fact
+	}
+	in := forwardSolve(c, ctxFact{}, joinCancels, equalCancels, transfer)
+
+	for _, blk := range c.blocks {
+		fact, reached := in[blk]
+		if !reached {
+			continue
+		}
+		for _, n := range blk.nodes {
+			fact = r.cancelTransfer(p, fact, n, true)
+		}
+	}
+
+	exit, reached := in[c.exit]
+	if !reached {
+		return
+	}
+	pending := make([]cancelInfo, 0, len(exit))
+	for _, v := range exit {
+		if v.state == cancelPending {
+			pending = append(pending, v)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].pos < pending[j].pos })
+	for _, v := range pending {
+		if waived(r.loader.Fset, r.ctxOK, v.pos) {
+			continue
+		}
+		r.report(v.pos, "ctxleak", "the cancel func returned by context.%s is not called on every path; call it on each exit or defer it", v.fn)
+	}
+}
+
+// cancelTransfer applies one CFG node's effects to fact. fact is
+// copy-on-write: the solver may have joined it into other blocks.
+func (r *Runner) cancelTransfer(p *Package, fact ctxFact, n ast.Node, report bool) ctxFact {
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		// Comm statements are not CFG nodes; scan them here for uses
+		// (`case out <- cancel:` is a handoff).
+		for _, cl := range n.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+				fact = resolveCancelUses(p.Info, fact, comm.Comm)
+			}
+		}
+		return fact
+	case *ast.RangeStmt:
+		return resolveCancelUses(p.Info, fact, n.X)
+	case *ast.DeferStmt:
+		// defer cancel(), defer func(){ cancel() }(), or any deferred
+		// call mentioning the variable: resolved from this point on.
+		return resolveCancelUses(p.Info, fact, n.Call)
+	case *ast.AssignStmt:
+		if nf, handled := r.cancelBind(p, fact, n, report); handled {
+			return nf
+		}
+	}
+	return resolveCancelUses(p.Info, fact, n)
+}
+
+// cancelBind handles `ctx, cancel := context.WithX(...)` (and `=`).
+// handled is false when the assignment is not a WithX binding, in
+// which case the caller falls through to generic use-scanning.
+func (r *Runner) cancelBind(p *Package, fact ctxFact, as *ast.AssignStmt, report bool) (ctxFact, bool) {
+	if len(as.Rhs) != 1 {
+		return fact, false
+	}
+	call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return fact, false
+	}
+	withName := contextWithFunc(p.Info, call)
+	if withName == "" {
+		return fact, false
+	}
+	// The call's arguments may use previously tracked cancels.
+	fact = resolveCancelUses(p.Info, fact, call)
+	if len(as.Lhs) != 2 {
+		return fact, true
+	}
+	id, ok := as.Lhs[1].(*ast.Ident)
+	if !ok {
+		return fact, true
+	}
+	if id.Name == "_" {
+		if report && !waived(r.loader.Fset, r.ctxOK, call.Pos()) {
+			r.report(call.Pos(), "ctxleak", "the cancel func returned by context.%s is discarded; assign it and call or defer it", withName)
+		}
+		return fact, true
+	}
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id]
+	}
+	if obj == nil {
+		return fact, true
+	}
+	if old, held := fact[obj]; held && old.state == cancelPending && report &&
+		!waived(r.loader.Fset, r.ctxOK, call.Pos()) {
+		r.report(call.Pos(), "ctxleak", "cancel func from context.%s (line %d) is overwritten before being called; the abandoned context stays alive until its parent ends",
+			old.fn, r.loader.Fset.Position(old.pos).Line)
+	}
+	nf := make(ctxFact, len(fact)+1)
+	for o, v := range fact {
+		nf[o] = v
+	}
+	nf[obj] = cancelInfo{state: cancelPending, pos: call.Pos(), fn: withName}
+	return nf, true
+}
+
+// resolveCancelUses marks every tracked cancel variable mentioned
+// anywhere under n (including inside function literals — a capture is
+// a handoff) as resolved.
+func resolveCancelUses(info *types.Info, fact ctxFact, n ast.Node) ctxFact {
+	if len(fact) == 0 || n == nil {
+		return fact
+	}
+	var copied bool
+	ast.Inspect(n, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if v, tracked := fact[obj]; tracked && v.state == cancelPending {
+			if !copied {
+				nf := make(ctxFact, len(fact))
+				for o, w := range fact {
+					nf[o] = w
+				}
+				fact, copied = nf, true
+			}
+			v.state = cancelResolved
+			fact[obj] = v
+		}
+		return true
+	})
+	return fact
+}
+
+// contextWithFunc names the context constructor a call invokes
+// ("WithCancel", ...), or "" for anything else.
+func contextWithFunc(info *types.Info, call *ast.CallExpr) string {
+	fn, ok := calleeFunc(info, call)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline",
+		"WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+		return fn.Name()
+	}
+	return ""
+}
+
+// usesContextWith is the cheap pre-filter for ctxleak.
+func usesContextWith(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok && contextWithFunc(info, call) != "" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -22,10 +22,28 @@
 //   - nogo: goroutines are spawned only inside internal/parallel and
 //     internal/serve, the two packages that own lifecycle management.
 //
+// Four flow-sensitive rules run on an intraprocedural CFG (cfg.go)
+// with a forward dataflow solver:
+//
+//   - locksafe: every sync.Mutex/RWMutex Lock is released on all paths
+//     out of the function, and no lock is held across a blocking
+//     operation (channel op, select without default, Wait, a ...Ctx
+//     solver call, fsync-class I/O) unless annotated.
+//   - ctxleak: cancel funcs from context.WithCancel/WithTimeout/... are
+//     called on every path, deferred, or handed off; discarding or
+//     overwriting a pending cancel is a finding.
+//   - atomicmix: a variable accessed via sync/atomic anywhere may not
+//     be read or written directly anywhere else in the module.
+//   - sitedrift: fault-site, obs-counter, and manifestcheck-gate string
+//     literals must round-trip against their declaring registries —
+//     typos, dead sites, and gates matching no manifest field are
+//     findings (see sitedrift.go).
+//
 // Directives are ordinary comments: //irfusion:hotpath and
 // //irfusion:hotpath-allow <rationale> in a function's doc comment;
-// //irfusion:exact <rationale> and //irfusion:ctx-ok <rationale> on
-// (or on the line before) the statement they waive.
+// //irfusion:exact <rationale>, //irfusion:ctx-ok <rationale>, and
+// //irfusion:lock-ok <rationale> on (or on the line before) the
+// statement they waive.
 package lint
 
 import (
@@ -79,9 +97,21 @@ type Runner struct {
 	loader *Loader
 	pkgs   []*Package
 
-	class map[types.Object]funcClass // function directive classes, all packages
-	exact map[string]map[int]bool    // file -> lines waived by //irfusion:exact
-	ctxOK map[string]map[int]bool    // file -> lines waived by //irfusion:ctx-ok
+	class  map[types.Object]funcClass // function directive classes, all packages
+	exact  map[string]map[int]bool    // file -> lines waived by //irfusion:exact
+	ctxOK  map[string]map[int]bool    // file -> lines waived by //irfusion:ctx-ok
+	lockOK map[string]map[int]bool    // file -> lines waived by //irfusion:lock-ok
+
+	// atomicmix cross-package state (collectAtomic fills, checkAtomicMix
+	// reads).
+	atomicObjs map[types.Object]token.Pos // first atomic access per object
+	atomicOK   map[*ast.Ident]bool        // idents inside atomic calls
+
+	// sitedrift cross-package state (collectSiteDrift fills,
+	// reportSiteDrift reads).
+	siteFired    map[*types.Package]map[string]bool // registry pkg -> fired sites
+	counterRegs  map[string]bool                    // obs.GlobalCounter names
+	counterReads []litUse                           // obs.CounterValue call sites
 
 	diags []Diagnostic
 }
@@ -91,14 +121,26 @@ type Runner struct {
 // the findings sorted by file, line, rule.
 func Analyze(l *Loader, pkgs []*Package) []Diagnostic {
 	r := &Runner{
-		loader: l,
-		pkgs:   pkgs,
-		class:  map[types.Object]funcClass{},
-		exact:  map[string]map[int]bool{},
-		ctxOK:  map[string]map[int]bool{},
+		loader:      l,
+		pkgs:        pkgs,
+		class:       map[types.Object]funcClass{},
+		exact:       map[string]map[int]bool{},
+		ctxOK:       map[string]map[int]bool{},
+		lockOK:      map[string]map[int]bool{},
+		atomicObjs:  map[types.Object]token.Pos{},
+		atomicOK:    map[*ast.Ident]bool{},
+		siteFired:   map[*types.Package]map[string]bool{},
+		counterRegs: map[string]bool{},
 	}
+	// Collection phases first: directives and the module-wide registries
+	// (atomic objects, fired fault sites, counter names) must be complete
+	// before any package is checked.
 	for _, p := range pkgs {
 		r.collectDirectives(p)
+	}
+	for _, p := range pkgs {
+		r.collectAtomic(p)
+		r.collectSiteDrift(p)
 	}
 	for _, p := range pkgs {
 		r.checkHotpath(p)
@@ -107,7 +149,12 @@ func Analyze(l *Loader, pkgs []*Package) []Diagnostic {
 		r.checkErrwrap(p)
 		r.checkFloatEq(p)
 		r.checkNoGo(p)
+		r.checkLocksafe(p)
+		r.checkCtxleak(p)
+		r.checkAtomicMix(p)
+		r.checkManifestGates(p)
 	}
+	r.reportSiteDrift()
 	sort.Slice(r.diags, func(i, j int) bool {
 		a, b := r.diags[i], r.diags[j]
 		if a.File != b.File {
@@ -177,7 +224,7 @@ func (r *Runner) collectDirectives(p *Package) {
 				switch name {
 				case "hotpath":
 					// Rationale optional: the contract is the directive.
-				case "hotpath-allow", "exact", "ctx-ok":
+				case "hotpath-allow", "exact", "ctx-ok", "lock-ok":
 					if rationale == "" {
 						r.report(c.Pos(), "directive", "//irfusion:%s requires a rationale", name)
 					}
@@ -185,14 +232,17 @@ func (r *Runner) collectDirectives(p *Package) {
 					r.report(c.Pos(), "directive", "unknown directive //irfusion:%s", name)
 					continue
 				}
-				if name == "exact" || name == "ctx-ok" {
+				if name == "exact" || name == "ctx-ok" || name == "lock-ok" {
 					// The waiver covers its own line (inline comment)
 					// and the next line (directive on the preceding
 					// line).
 					line := r.loader.Fset.Position(c.Pos()).Line
 					m := r.exact
-					if name == "ctx-ok" {
+					switch name {
+					case "ctx-ok":
 						m = r.ctxOK
+					case "lock-ok":
+						m = r.lockOK
 					}
 					if m[fname] == nil {
 						m[fname] = map[int]bool{}

@@ -114,6 +114,72 @@ func TestDirectiveRationaleRequired(t *testing.T) {
 	forbidRule(t, diags, "floateq")
 }
 
+func TestLocksafeFixture(t *testing.T) {
+	diags := loadFixture(t, "locksafefix")
+	requireFinding(t, diags, "locksafe", "not released on every path")
+	requireFinding(t, diags, "locksafe", "held across a channel send")
+	requireFinding(t, diags, "locksafe", "held across sync.WaitGroup.Wait")
+	// LoopLeak: the labeled break leaves the lock held at exit — at
+	// least two exit-path findings total (LeakOnError and LoopLeak).
+	n := 0
+	for _, d := range diags {
+		if d.Rule == "locksafe" && strings.Contains(d.Message, "not released on every path") {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("want 2 exit-path locksafe findings, got %d: %v", n, diags)
+	}
+}
+
+func TestLocksafeCleanFixture(t *testing.T) {
+	forbidRule(t, loadFixture(t, "locksafeclean"), "locksafe")
+}
+
+func TestCtxleakFixture(t *testing.T) {
+	diags := loadFixture(t, "ctxleakfix")
+	requireFinding(t, diags, "ctxleak", "overwritten before being called")
+	requireFinding(t, diags, "ctxleak", "not called on every path")
+	requireFinding(t, diags, "ctxleak", "discarded")
+}
+
+func TestCtxleakCleanFixture(t *testing.T) {
+	forbidRule(t, loadFixture(t, "ctxleakclean"), "ctxleak")
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	diags := loadFixture(t, "atomicmixfix")
+	requireFinding(t, diags, "atomicmix", "accessed via sync/atomic")
+	n := 0
+	for _, d := range diags {
+		if d.Rule == "atomicmix" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("want exactly 1 atomicmix finding (the atomic call itself must not count), got %d: %v", n, diags)
+	}
+}
+
+func TestAtomicMixCleanFixture(t *testing.T) {
+	forbidRule(t, loadFixture(t, "atomicmixclean"), "atomicmix")
+}
+
+func TestSiteDriftFixture(t *testing.T) {
+	diags := loadFixture(t, "sitedriftfix")
+	requireFinding(t, diags, "sitedrift", `unknown fault site "fix.typo"`)
+	requireFinding(t, diags, "sitedrift", "SiteDead")
+	requireFinding(t, diags, "sitedrift", "SiteUnlisted")
+	requireFinding(t, diags, "sitedrift", `knownSites entry "fix.ghost"`)
+	requireFinding(t, diags, "sitedrift", `counter "fix.no.such.counter"`)
+	requireFinding(t, diags, "sitedrift", `manifest section "no_such_section"`)
+	requireFinding(t, diags, "sitedrift", "flag -orphan has no entry")
+}
+
+func TestSiteDriftCleanFixture(t *testing.T) {
+	forbidRule(t, loadFixture(t, "sitedriftclean"), "sitedrift")
+}
+
 func TestCleanFixture(t *testing.T) {
 	diags := loadFixture(t, "cleanfix")
 	if len(diags) != 0 {

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "internal/serve/api.go", Line: 190, Rule: "ctxleak", Message: "cancel overwritten"},
+		{File: "internal/journal/journal.go", Line: 358, Rule: "locksafe", Message: "lock across fsync"},
+		{File: "weird.go", Line: 0, Rule: "neverheardofit", Message: "future rule"},
+	}
+	var sb strings.Builder
+	if err := WriteSARIF(&sb, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Locations []struct {
+					Physical struct {
+						Artifact struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d; want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "irfusionlint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	// All eleven known rules plus the on-the-fly one.
+	if got, want := len(run.Tool.Driver.Rules), len(sarifRules)+1; got != want {
+		t.Errorf("rule count %d, want %d", got, want)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("result count %d, want 3", len(run.Results))
+	}
+	for i, res := range run.Results {
+		if res.RuleID != diags[i].Rule {
+			t.Errorf("result %d ruleId %q, want %q", i, res.RuleID, diags[i].Rule)
+		}
+		if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("result %d ruleIndex %d does not point at %q", i, res.RuleIndex, res.RuleID)
+		}
+		if got := res.Locations[0].Physical.Artifact.URI; got != diags[i].File {
+			t.Errorf("result %d uri %q, want %q", i, got, diags[i].File)
+		}
+	}
+	// Line 0 must be clamped: SARIF startLine is 1-based.
+	if got := run.Results[2].Locations[0].Physical.Region.StartLine; got != 1 {
+		t.Errorf("zero line rendered as startLine %d, want 1", got)
+	}
+}
+
+func TestWriteSARIFEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSARIF(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"results": []`) {
+		t.Errorf("empty run must carry an explicit empty results array:\n%s", sb.String())
+	}
+}

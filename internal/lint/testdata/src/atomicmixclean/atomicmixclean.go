@@ -1,0 +1,20 @@
+// Package atomicmixclean seeds the sanctioned atomic patterns: the
+// wrapper types (mixing unrepresentable) and a legacy field that is
+// only ever touched through sync/atomic.
+package atomicmixclean
+
+import "sync/atomic"
+
+type Counter struct {
+	n atomic.Int64
+}
+
+func (c *Counter) Inc()        { c.n.Add(1) }
+func (c *Counter) Read() int64 { return c.n.Load() }
+
+type legacy struct {
+	v int64
+}
+
+func (l *legacy) Inc()       { atomic.AddInt64(&l.v, 1) }
+func (l *legacy) Get() int64 { return atomic.LoadInt64(&l.v) }

@@ -1,0 +1,19 @@
+// Package atomicmixfix seeds an atomicmix violation: a field written
+// through sync/atomic in one method and read directly in another.
+package atomicmixfix
+
+import "sync/atomic"
+
+type Counter struct {
+	n int64
+}
+
+// Inc is atomic.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read races with Inc: a plain load of an atomically written field.
+func (c *Counter) Read() int64 {
+	return c.n
+}

@@ -1,0 +1,36 @@
+// Package ctxleakfix seeds ctxleak violations: the cancel overwritten
+// by a second WithX call (the serve bug shape), a path that drops a
+// pending cancel, and an outright discarded cancel.
+package ctxleakfix
+
+import (
+	"context"
+	"time"
+)
+
+// Overwrite abandons the WithCancel context when a timeout replaces
+// it; the deferred cancel only covers the second context.
+func Overwrite(timeout time.Duration) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	}
+	defer cancel()
+	return ctx
+}
+
+// DropOnPath never cancels on the failure path.
+func DropOnPath(fail bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	if fail {
+		return ctx.Err()
+	}
+	cancel()
+	return nil
+}
+
+// Discard throws the cancel func away at the binding.
+func Discard() context.Context {
+	ctx, _ := context.WithCancel(context.Background())
+	return ctx
+}

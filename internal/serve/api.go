@@ -135,6 +135,24 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 }
 
+// jobContext derives a job's context from the server base context: a
+// timeout context when the request or the server default bounds the
+// job, a plain cancel context otherwise. Built in a single step so
+// exactly one cancel func exists per job — the old two-step form
+// (WithCancel, then conditionally reassigning from WithTimeout)
+// abandoned its first context, leaving it registered on baseCtx for
+// the life of the server.
+func (s *Server) jobContext(timeoutMS int) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(s.baseCtx, timeout)
+	}
+	return context.WithCancel(s.baseCtx)
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -181,14 +199,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
-	}
+	ctx, cancel := s.jobContext(req.TimeoutMS)
 	j := &Job{
 		req:         req,
 		submitted:   time.Now(),
@@ -745,6 +756,7 @@ func (s *Server) executeFused(ctx context.Context, req *AnalyzeRequest, d *pgen.
 func (s *Server) predictLocked(ctx context.Context, sample *dataset.Sample) *grid.Map {
 	s.mlMu.Lock()
 	defer s.mlMu.Unlock()
+	//irfusion:lock-ok serializing inference is this mutex's entire purpose; the model instance is not reentrant and PredictCtx honors ctx cancellation
 	return s.cfg.Analyzer.PredictCtx(ctx, sample)
 }
 

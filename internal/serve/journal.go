@@ -74,14 +74,7 @@ func (s *Server) recoverOrphans(fold *journal.Fold) {
 		if st.CheckpointKey != "" {
 			s.restoreCheckpoint(st.CheckpointKey)
 		}
-		ctx, cancel := context.WithCancel(s.baseCtx)
-		timeout := s.cfg.DefaultTimeout
-		if req.TimeoutMS > 0 {
-			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		}
-		if timeout > 0 {
-			ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
-		}
+		ctx, cancel := s.jobContext(req.TimeoutMS)
 		j := &Job{
 			req:        req,
 			submitted:  time.Now(),
